@@ -1,0 +1,237 @@
+//! SVF-Null — the paper's Table 8 comparator built by replacing PATA's
+//! path-based alias analysis with a points-to analysis (§6: "we replace the
+//! path-based alias analysis with the SVF's flow-sensitive points-to
+//! analysis in PATA, to implement a new tool named SVF-Null to detect
+//! null-pointer dereferences").
+//!
+//! Mechanism: collect null *evidence* (a branch testing `p == NULL`, or a
+//! `p = NULL` assignment) and dereference sites per function; report when a
+//! dereferenced pointer **is or may-alias (by points-to)** an evidenced
+//! pointer and the dereference is CFG-reachable from the evidence point.
+//! There is no path-feasibility validation, and aliases that flow through
+//! the pointer parameters of module interface functions are invisible
+//! because those parameters have empty points-to sets (difficulty D1) — the
+//! two reasons the paper's SVF-Null both misses PATA's bugs and reports
+//! false positives.
+
+use crate::points_to::PointsTo;
+use crate::Analyzer;
+use pata_core::{BugKind, BugReport};
+use pata_ir::{
+    BlockId, Cfg, CmpOp, ConstVal, Function, InstKind, Module, Operand, Terminator, VarId,
+};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// The SVF-Null analyzer.
+#[derive(Debug, Default)]
+pub struct SvfNullAnalyzer;
+
+/// Blocks reachable from `from` (inclusive).
+pub(crate) fn reachable_from(cfg: &Cfg, from: BlockId) -> Vec<bool> {
+    let mut seen = vec![false; cfg.len()];
+    let mut queue = VecDeque::new();
+    seen[from.index()] = true;
+    queue.push_back(from);
+    while let Some(b) = queue.pop_front() {
+        for &s in cfg.succs(b) {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                queue.push_back(s);
+            }
+        }
+    }
+    seen
+}
+
+/// Null-evidence collection shared with the intraprocedural baseline:
+/// `(variable, block where it is null, line)`.
+pub(crate) fn null_evidence(func: &Function) -> Vec<(VarId, BlockId, u32)> {
+    // cond temp -> (tested var, null-on-true)
+    let mut cond_null: HashMap<VarId, (VarId, bool)> = HashMap::new();
+    let mut out = Vec::new();
+    for (bi, block) in func.blocks().iter().enumerate() {
+        for inst in &block.insts {
+            match &inst.kind {
+                InstKind::Cmp { dst, op, lhs, rhs } => {
+                    let (var, konst) = match (lhs, rhs) {
+                        (Operand::Var(v), Operand::Const(c)) => (*v, *c),
+                        (Operand::Const(c), Operand::Var(v)) => (*v, *c),
+                        _ => continue,
+                    };
+                    if konst == ConstVal::Null {
+                        match op {
+                            CmpOp::Eq => {
+                                cond_null.insert(*dst, (var, true));
+                            }
+                            CmpOp::Ne => {
+                                cond_null.insert(*dst, (var, false));
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                InstKind::Const { dst, value: ConstVal::Null } => {
+                    out.push((*dst, BlockId::from_index(bi), inst.loc.line));
+                }
+                _ => {}
+            }
+        }
+        if let Terminator::Branch { cond, then_bb, else_bb } = &block.term {
+            if let Some(&(var, null_on_true)) = cond_null.get(cond) {
+                let null_block = if null_on_true { *then_bb } else { *else_bb };
+                out.push((var, null_block, block.term_loc.line));
+            }
+        }
+    }
+    out
+}
+
+/// All dereference sites `(pointer, block, line)` in a function.
+pub(crate) fn deref_sites(module: &Module, func: &Function) -> Vec<(VarId, BlockId, u32)> {
+    let mut out = Vec::new();
+    for (bi, block) in func.blocks().iter().enumerate() {
+        for inst in &block.insts {
+            let ptr = match &inst.kind {
+                InstKind::Load { addr, .. } => Some(*addr),
+                InstKind::Store { addr, .. } => Some(*addr),
+                InstKind::Gep { base, .. } => Some(*base),
+                _ => None,
+            };
+            if let Some(p) = ptr {
+                if module.var(p).ty.is_pointer() {
+                    out.push((p, BlockId::from_index(bi), inst.loc.line));
+                }
+            }
+        }
+    }
+    out
+}
+
+impl Analyzer for SvfNullAnalyzer {
+    fn name(&self) -> &'static str {
+        "SVF-Null"
+    }
+
+    fn run(&self, module: &Module) -> Vec<BugReport> {
+        let pt = PointsTo::analyze(module);
+        let mut reports = Vec::new();
+        let mut seen = HashSet::new();
+        for func in module.functions() {
+            let cfg = Cfg::new(func);
+            let evidence = null_evidence(func);
+            let derefs = deref_sites(module, func);
+            for &(ev_var, ev_block, ev_line) in &evidence {
+                let reach = reachable_from(&cfg, ev_block);
+                for &(ptr, db, line) in &derefs {
+                    if !reach[db.index()] {
+                        continue;
+                    }
+                    let aliased = ptr == ev_var || pt.may_alias(ptr, ev_var);
+                    if !aliased {
+                        continue;
+                    }
+                    if !seen.insert((func.id(), ev_line, line)) {
+                        continue;
+                    }
+                    reports.push(BugReport {
+                        kind: BugKind::NullPointerDeref,
+                        file: module.file(func.file()).name.clone(),
+                        function: func.name().to_owned(),
+                        origin_line: ev_line,
+                        site_line: line,
+                        category: func.category(),
+                        alias_paths: Vec::new(),
+                        message: format!(
+                            "possible null-pointer dereference in `{}` (points-to aliasing)",
+                            func.name()
+                        ),
+                    });
+                }
+            }
+        }
+        reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<BugReport> {
+        let m = pata_cc::compile_one("s.c", src).unwrap();
+        SvfNullAnalyzer.run(&m)
+    }
+
+    #[test]
+    fn same_variable_check_then_deref_found() {
+        let reports = run(
+            r#"
+            int f(int *p) {
+                if (p == NULL) { }
+                return *p;
+            }
+            "#,
+        );
+        assert!(!reports.is_empty());
+    }
+
+    #[test]
+    fn guarded_deref_not_reported() {
+        let reports = run(
+            r#"
+            int f(int *p) {
+                if (p == NULL) { return -1; }
+                return *p;
+            }
+            "#,
+        );
+        assert!(reports.is_empty(), "{reports:?}");
+    }
+
+    #[test]
+    fn misses_interface_alias_bug_d1() {
+        // Fig. 3 shape: the alias flows through the interface parameter's
+        // field — empty points-to sets hide it.
+        let reports = run(
+            r#"
+            struct cfg_t { int frnd; };
+            struct model_t { struct cfg_t *user_data; };
+            static void send_status(struct model_t *model) {
+                struct cfg_t *cfg = model->user_data;
+                int x = cfg->frnd;
+            }
+            static void friend_set(struct model_t *model) {
+                struct cfg_t *cfg = model->user_data;
+                if (!cfg) {
+                    send_status(model);
+                }
+            }
+            static struct ops bt_ops = { .set = friend_set };
+            "#,
+        );
+        assert!(
+            reports.is_empty(),
+            "points-to-based analysis must miss the D1 alias bug: {reports:?}"
+        );
+    }
+
+    #[test]
+    fn reports_infeasible_path_fp() {
+        // `p` is reassigned before the deref — flow-insensitive evidence
+        // still fires: a false positive PATA would not produce.
+        let reports = run(
+            r#"
+            int f(int c) {
+                int x = 5;
+                int *p = NULL;
+                if (c > 0) {
+                    p = &x;
+                    return *p;
+                }
+                return 0;
+            }
+            "#,
+        );
+        assert!(!reports.is_empty(), "expected the flow-insensitive FP");
+    }
+}

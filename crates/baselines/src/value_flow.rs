@@ -1,0 +1,231 @@
+//! Saber-like value-flow leak detection (paper §6/§8.1).
+//!
+//! Saber builds a sparse value-flow graph over def-use chains (with
+//! points-to analysis resolving indirect flows) and detects memory leaks as
+//! source-sink reachability problems: a `malloc` source must reach a `free`
+//! sink or escape. The analysis is **path-insensitive**: if *any* path
+//! frees the object, the source is considered safe — which is exactly why
+//! this family misses the error-path leaks PATA reports (Fig. 12c), while
+//! points-to blind spots (D1) can also produce false leaks.
+
+use crate::points_to::PointsTo;
+use crate::Analyzer;
+use pata_core::{BugKind, BugReport};
+use pata_ir::{Callee, InstKind, Module, Operand, Terminator, VarId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// The Saber-like analyzer (memory leaks only, as in Table 8).
+#[derive(Debug, Default)]
+pub struct ValueFlowLeakAnalyzer;
+
+impl Analyzer for ValueFlowLeakAnalyzer {
+    fn name(&self) -> &'static str {
+        "ValueFlowLeak"
+    }
+
+    fn run(&self, module: &Module) -> Vec<BugReport> {
+        let pt = PointsTo::analyze(module);
+
+        // Def-use value-flow edges between variables.
+        let mut edges: HashMap<VarId, Vec<VarId>> = HashMap::new();
+        let mut add = |from: VarId, to: VarId| edges.entry(from).or_default().push(to);
+        // (source var, function, line) per malloc site.
+        let mut sources = Vec::new();
+        // Vars flowing into free / escaping (stored, returned by an
+        // interface function, passed to an opaque callee).
+        let mut freed: HashSet<VarId> = HashSet::new();
+        let mut escaped: HashSet<VarId> = HashSet::new();
+        // Store/Load matching through the points-to solution.
+        let mut stores: Vec<(VarId, VarId)> = Vec::new(); // (addr, val)
+        let mut loads: Vec<(VarId, VarId)> = Vec::new(); // (addr, dst)
+
+        for func in module.functions() {
+            for block in func.blocks() {
+                for inst in &block.insts {
+                    match &inst.kind {
+                        InstKind::Malloc { dst } => {
+                            sources.push((*dst, func.id(), inst.loc.line));
+                        }
+                        InstKind::Move { dst, src } => add(*src, *dst),
+                        InstKind::Free { ptr } => {
+                            freed.insert(*ptr);
+                        }
+                        InstKind::Store { addr, val: Operand::Var(v) } => {
+                            if module.var(*v).ty.is_pointer() {
+                                escaped.insert(*v);
+                            }
+                            stores.push((*addr, *v));
+                        }
+                        InstKind::Load { dst, addr } => loads.push((*addr, *dst)),
+                        InstKind::Call { dst, callee, args } => match callee {
+                            Callee::Direct(f) => {
+                                let params = module.function(*f).params().to_vec();
+                                for (i, p) in params.iter().enumerate() {
+                                    if let Some(Operand::Var(a)) = args.get(i) {
+                                        add(*a, *p);
+                                    }
+                                }
+                                if let Some(d) = dst {
+                                    for b in module.function(*f).blocks() {
+                                        if let Terminator::Ret(Some(Operand::Var(r))) = &b.term {
+                                            add(*r, *d);
+                                        }
+                                    }
+                                }
+                            }
+                            _ => {
+                                // Opaque callee: pointer arguments escape.
+                                for a in args {
+                                    if let Operand::Var(v) = a {
+                                        if module.var(*v).ty.is_pointer() {
+                                            escaped.insert(*v);
+                                        }
+                                    }
+                                }
+                            }
+                        },
+                        _ => {}
+                    }
+                }
+                // A pointer returned by an interface function escapes to
+                // the (unknown) external caller.
+                if func.is_interface() || module_is_root(module, func.id()) {
+                    if let Terminator::Ret(Some(Operand::Var(r))) = &block.term {
+                        if module.var(*r).ty.is_pointer() {
+                            escaped.insert(*r);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Indirect flows: a load from an address that may-alias a stored
+        // address propagates the stored value (resolved with points-to; D1
+        // parameters resolve to nothing).
+        for &(saddr, sval) in &stores {
+            for &(laddr, ldst) in &loads {
+                if pt.may_alias(saddr, laddr) {
+                    edges.entry(sval).or_default().push(ldst);
+                }
+            }
+        }
+
+        // Source-sink reachability per malloc site.
+        let mut reports = Vec::new();
+        for (src, func_id, line) in sources {
+            let mut seen = HashSet::new();
+            let mut queue = VecDeque::new();
+            seen.insert(src);
+            queue.push_back(src);
+            let mut safe = false;
+            while let Some(v) = queue.pop_front() {
+                if freed.contains(&v) || escaped.contains(&v) {
+                    safe = true;
+                    break;
+                }
+                if let Some(next) = edges.get(&v) {
+                    for &n in next {
+                        if seen.insert(n) {
+                            queue.push_back(n);
+                        }
+                    }
+                }
+            }
+            if !safe {
+                let func = module.function(func_id);
+                reports.push(BugReport {
+                    kind: BugKind::MemoryLeak,
+                    file: module.file(func.file()).name.clone(),
+                    function: func.name().to_owned(),
+                    origin_line: line,
+                    site_line: line,
+                    category: func.category(),
+                    alias_paths: Vec::new(),
+                    message: format!(
+                        "allocation at line {line} never reaches a free (value-flow)"
+                    ),
+                });
+            }
+        }
+        reports
+    }
+}
+
+/// Whether a function has no direct callers (recomputed locally so the
+/// analyzer does not depend on the collector having run).
+fn module_is_root(module: &Module, f: pata_ir::FuncId) -> bool {
+    for func in module.functions() {
+        for block in func.blocks() {
+            for inst in &block.insts {
+                if let InstKind::Call { callee: Callee::Direct(t), .. } = &inst.kind {
+                    if *t == f {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<BugReport> {
+        let m = pata_cc::compile_one("v.c", src).unwrap();
+        ValueFlowLeakAnalyzer.run(&m)
+    }
+
+    #[test]
+    fn never_freed_malloc_found() {
+        let reports = run("void f(void) { int *p = malloc(8); *p = 1; }");
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].kind, BugKind::MemoryLeak);
+    }
+
+    #[test]
+    fn freed_through_callee_not_reported() {
+        let reports = run(
+            r#"
+            void release(int *b) { free(b); }
+            void f(void) { int *p = malloc(8); release(p); }
+            "#,
+        );
+        assert!(reports.is_empty(), "{reports:?}");
+    }
+
+    #[test]
+    fn error_path_leak_missed() {
+        // Path-insensitive: the happy-path free marks the source safe, so
+        // the error-path leak (which PATA reports) is missed.
+        let reports = run(
+            r#"
+            int f(int n) {
+                int *p = malloc(8);
+                if (n < 0) { return -1; }
+                free(p);
+                return 0;
+            }
+            "#,
+        );
+        assert!(reports.is_empty(), "{reports:?}");
+    }
+
+    #[test]
+    fn returned_pointer_escapes() {
+        let reports = run("int *f(void) { int *p = malloc(8); return p; }");
+        assert!(reports.is_empty(), "{reports:?}");
+    }
+
+    #[test]
+    fn stored_pointer_escapes() {
+        let reports = run(
+            r#"
+            struct dev { int *buf; };
+            void f(struct dev *d) { int *p = malloc(8); d->buf = p; }
+            "#,
+        );
+        assert!(reports.is_empty(), "{reports:?}");
+    }
+}

@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks for the conjunction solver: the workload of
+//! the paper's Stage-2 path validation (one small constraint system per
+//! candidate bug).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pata_smt::{CmpOp, Solver, Term};
+
+fn bench_solver(c: &mut Criterion) {
+    c.bench_function("smt/feasible_chain_50", |b| {
+        b.iter(|| {
+            let mut s = Solver::new();
+            let syms: Vec<_> = (0..50).map(|_| s.fresh_symbol()).collect();
+            for w in syms.windows(2) {
+                s.assert_cmp(CmpOp::Le, Term::sym(w[0]), Term::sym(w[1]));
+            }
+            black_box(s.check())
+        })
+    });
+
+    c.bench_function("smt/infeasible_cycle_50", |b| {
+        b.iter(|| {
+            let mut s = Solver::new();
+            let syms: Vec<_> = (0..50).map(|_| s.fresh_symbol()).collect();
+            for w in syms.windows(2) {
+                s.assert_cmp(CmpOp::Lt, Term::sym(w[0]), Term::sym(w[1]));
+            }
+            s.assert_cmp(CmpOp::Lt, Term::sym(syms[49]), Term::sym(syms[0]));
+            black_box(s.check())
+        })
+    });
+
+    c.bench_function("smt/null_check_pattern", |b| {
+        // The shape Stage 2 solves for a typical NPD candidate.
+        b.iter(|| {
+            let mut s = Solver::new();
+            let p = s.fresh_symbol();
+            let f = s.fresh_symbol();
+            let n = s.fresh_symbol();
+            s.assert_cmp(CmpOp::Eq, Term::sym(p), Term::int(0));
+            s.assert_cmp(CmpOp::Eq, Term::sym(f), Term::sym(n).add(Term::int(4)));
+            s.assert_cmp(CmpOp::Gt, Term::sym(n), Term::int(0));
+            black_box(s.check())
+        })
+    });
+
+    c.bench_function("smt/diseq_refutation", |b| {
+        b.iter(|| {
+            let mut s = Solver::new();
+            let x = s.fresh_symbol();
+            let y = s.fresh_symbol();
+            s.assert_cmp(CmpOp::Eq, Term::sym(x), Term::sym(y).add(Term::int(2)));
+            s.assert_cmp(CmpOp::Ne, Term::sym(x).sub(Term::sym(y)), Term::int(2));
+            black_box(s.check())
+        })
+    });
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Regenerates **Figure 11** — distribution of the real bugs PATA finds,
+//! by OS part.
+//!
+//! Shape targets: drivers hold ~75% of Linux bugs; third-party modules
+//! hold ~68% and subsystems ~25% of IoT-OS bugs.
+
+use pata_bench::{parse_scale, rule, run_profile};
+use pata_core::AnalysisConfig;
+use pata_corpus::OsProfile;
+use pata_ir::Category;
+
+fn main() {
+    let scale = parse_scale();
+    println!("Figure 11: Distribution of the found real bugs (scale {scale})");
+
+    // (a) Linux.
+    let linux = run_profile(&OsProfile::linux().with_scale(scale), AnalysisConfig::default());
+    println!("\n(a) Linux");
+    rule(54);
+    let total: usize = linux.score.real_by_category.iter().map(|(_, n)| n).sum();
+    for cat in Category::ALL {
+        let n = linux
+            .score
+            .real_by_category
+            .iter()
+            .find(|(c, _)| *c == cat)
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
+        if n > 0 {
+            let pct = 100.0 * n as f64 / total.max(1) as f64;
+            println!("{:<14} {:>5}  {:>5.1}%  {}", cat.as_str(), n, pct, bar(pct));
+        }
+    }
+    println!("(paper: drivers 75%, network+fs 16%, others 9%)");
+
+    // (b) IoT OSes combined.
+    let mut iot: Vec<(Category, usize)> = Vec::new();
+    for p in [OsProfile::zephyr(), OsProfile::riot(), OsProfile::tencent()] {
+        let run = run_profile(&p.with_scale(scale), AnalysisConfig::default());
+        for (c, n) in run.score.real_by_category {
+            match iot.iter_mut().find(|(cc, _)| *cc == c) {
+                Some((_, m)) => *m += n,
+                None => iot.push((c, n)),
+            }
+        }
+    }
+    println!("\n(b) IoT OSes");
+    rule(54);
+    let total: usize = iot.iter().map(|(_, n)| n).sum();
+    for cat in Category::ALL {
+        let n = iot.iter().find(|(c, _)| *c == cat).map(|(_, n)| *n).unwrap_or(0);
+        if n > 0 {
+            let pct = 100.0 * n as f64 / total.max(1) as f64;
+            println!("{:<14} {:>5}  {:>5.1}%  {}", cat.as_str(), n, pct, bar(pct));
+        }
+    }
+    println!("(paper: third-party 68%, subsystem 25%, others 7%)");
+}
+
+fn bar(pct: f64) -> String {
+    "#".repeat((pct / 2.5).round() as usize)
+}

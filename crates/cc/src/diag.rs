@@ -1,0 +1,64 @@
+//! Diagnostics emitted by the front-end.
+
+use std::fmt;
+
+/// Which phase produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiagKind {
+    /// Lexical error.
+    Lex,
+    /// Parse error.
+    Parse,
+    /// Semantic/lowering error (unknown struct, bad lvalue, …).
+    Sema,
+}
+
+impl fmt::Display for DiagKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DiagKind::Lex => "lex",
+            DiagKind::Parse => "parse",
+            DiagKind::Sema => "sema",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One front-end diagnostic with file/line attribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diag {
+    /// The phase.
+    pub kind: DiagKind,
+    /// Source file name.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Diag {
+    /// Creates a diagnostic.
+    pub fn new(kind: DiagKind, file: &str, line: u32, message: impl Into<String>) -> Self {
+        Diag { kind, file: file.to_owned(), line, message: message.into() }
+    }
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {} error: {}", self.file, self.line, self.kind, self.message)
+    }
+}
+
+impl std::error::Error for Diag {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_format() {
+        let d = Diag::new(DiagKind::Parse, "a.c", 12, "expected `;`");
+        assert_eq!(d.to_string(), "a.c:12: parse error: expected `;`");
+    }
+}

@@ -1,0 +1,89 @@
+//! Division-by-zero checker (Table 7 generality study).
+//!
+//! ```text
+//! S = {S0, SZ, SNZ}
+//!   ass_const(0) / br(v==0)   --> SZ
+//!   ass_const(c≠0) / br(v≠0)  --> SNZ
+//!   SZ + div/rem divisor      --> bug
+//! ```
+//!
+//! As with the underflow checker, only divisors with evidence of zeroness
+//! are reported; the validator confirms the zero path is feasible.
+
+use crate::checkers::BugKind;
+use crate::typestate::{BranchEvent, Checker, FsmSpec, TrackCtx, UpdateInfo};
+use pata_ir::{CmpOp, ConstVal, InstKind};
+
+const S_Z: u8 = 1;
+const S_NZ: u8 = 2;
+
+/// The division-by-zero checker.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DivZeroChecker;
+
+impl DivZeroChecker {
+    fn id(&self) -> u8 {
+        BugKind::DivisionByZero.id()
+    }
+}
+
+impl Checker for DivZeroChecker {
+    fn kind(&self) -> BugKind {
+        BugKind::DivisionByZero
+    }
+
+    fn fsm(&self) -> FsmSpec {
+        FsmSpec {
+            states: vec!["S0", "SZ", "SNZ", "SDBZ"],
+            events: vec!["ass_zero", "br_zero", "br_nonzero", "div"],
+            bug_state: "SDBZ",
+        }
+    }
+
+    fn on_inst(&self, cx: &mut TrackCtx<'_>, inst: &InstKind, info: &UpdateInfo) {
+        let id = self.id();
+        if matches!(inst, InstKind::Move { .. }) {
+            if let (crate::config::AliasMode::None, Some((dst, src))) = (cx.mode, info.move_pair) {
+                cx.copy_state(id, dst, src);
+            }
+        }
+        if let InstKind::Const { value: ConstVal::Int(v), .. } = inst {
+            if let Some(key) = info.dst_key {
+                let s = if *v == 0 { S_Z } else { S_NZ };
+                cx.transition(id, key, s, None);
+            }
+        }
+        if let InstKind::Bin { op, .. } = inst {
+            if op.traps_on_zero() {
+                if info.divisor_const == Some(0) {
+                    cx.report_here(BugKind::DivisionByZero, Vec::new());
+                }
+                if let Some(key) = info.divisor_key {
+                    if let Some(entry) = cx.state(id, key) {
+                        if entry.state == S_Z {
+                            cx.report(BugKind::DivisionByZero, key, entry, Vec::new());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_branch(&self, cx: &mut TrackCtx<'_>, ev: &BranchEvent) {
+        let id = self.id();
+        if ev.lhs_is_pointer {
+            return;
+        }
+        let (Some(key), Some(c)) = (ev.lhs.key(), ev.rhs.as_const()) else {
+            return;
+        };
+        match (ev.op, c) {
+            (CmpOp::Eq, 0) => cx.transition(id, key, S_Z, None),
+            (CmpOp::Ne, 0) => cx.transition(id, key, S_NZ, None),
+            (CmpOp::Gt, c) if c >= 0 => cx.transition(id, key, S_NZ, None),
+            (CmpOp::Lt, c) if c <= 0 => cx.transition(id, key, S_NZ, None),
+            (CmpOp::Eq, c) if c != 0 => cx.transition(id, key, S_NZ, None),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Double-lock / double-unlock checker (Table 7 generality study).
+//!
+//! ```text
+//! S = {S0, SL, SU}
+//!   S0 --lock-->   SL          SL --lock-->   bug (double lock)
+//!   SL --unlock--> SU          SU --unlock--> bug (double unlock)
+//!   SU --lock-->   SL
+//! ```
+//!
+//! A bare `unlock` in `S0` is *not* reported: the lock may have been taken
+//! by a caller outside the analyzed path (standard kernel idiom).
+
+use crate::checkers::BugKind;
+use crate::typestate::{Checker, FsmSpec, TrackCtx, UpdateInfo};
+use pata_ir::InstKind;
+
+const S_L: u8 = 1;
+const S_U: u8 = 2;
+
+/// The double-lock/unlock checker.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LockChecker;
+
+impl LockChecker {
+    fn id(&self) -> u8 {
+        BugKind::DoubleLock.id()
+    }
+}
+
+impl Checker for LockChecker {
+    fn kind(&self) -> BugKind {
+        BugKind::DoubleLock
+    }
+
+    fn fsm(&self) -> FsmSpec {
+        FsmSpec {
+            states: vec!["S0", "SL", "SU", "SBUG"],
+            events: vec!["lock", "unlock"],
+            bug_state: "SBUG",
+        }
+    }
+
+    fn on_inst(&self, cx: &mut TrackCtx<'_>, inst: &InstKind, info: &UpdateInfo) {
+        let id = self.id();
+        if matches!(inst, InstKind::Move { .. }) {
+            if let (crate::config::AliasMode::None, Some((dst, src))) = (cx.mode, info.move_pair) {
+                cx.copy_state(id, dst, src);
+            }
+        }
+        let Some(key) = info.lock_key else { return };
+        match inst {
+            InstKind::Lock { .. } => match cx.state(id, key) {
+                Some(entry) if entry.state == S_L => {
+                    // Double lock; stays locked.
+                    cx.report(BugKind::DoubleLock, key, entry, Vec::new());
+                }
+                other => cx.transition(id, key, S_L, other),
+            },
+            InstKind::Unlock { .. } => match cx.state(id, key) {
+                Some(entry) if entry.state == S_L => {
+                    cx.transition(id, key, S_U, Some(entry));
+                }
+                Some(entry) if entry.state == S_U => {
+                    // Double unlock; stays unlocked.
+                    cx.report(BugKind::DoubleLock, key, entry, Vec::new());
+                }
+                _ => {
+                    // Unlock with unknown prior state: caller-held lock.
+                }
+            },
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Null-pointer dereference checker — the paper's `FSM_NPD` (Table 2).
+//!
+//! ```text
+//! S = {S0, SNON, SN, SNPD}
+//! Σ = {ass_null, br_null, br_nonnull, deref}
+//!   S0   --ass_null/br_null-->  SN
+//!   S0   --deref/br_nonnull-->  SNON
+//!   SN   --deref-->             SNPD   (possible bug!)
+//!   SN   --br_nonnull-->        SNON
+//!   SNON --ass_null/br_null-->  SN
+//! ```
+//!
+//! `deref` fires when a pointer is used as a `LOAD`/`STORE` address or as a
+//! `GEP` base (the `p->f` access pattern of the motivating bugs, Figs. 1, 3
+//! and 12). All variables in one alias set share the state, so a pointer
+//! checked against `NULL` under one name and dereferenced under an alias is
+//! still caught (the Zephyr `friend_set` bug).
+
+use crate::checkers::BugKind;
+use crate::typestate::{BranchEvent, Checker, FsmSpec, TrackCtx, UpdateInfo};
+use pata_ir::{CmpOp, ConstVal, InstKind};
+
+const S_NON: u8 = 1;
+const S_N: u8 = 2;
+const S_NPD: u8 = 3;
+
+/// The NPD checker.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NpdChecker;
+
+impl NpdChecker {
+    fn id(&self) -> u8 {
+        BugKind::NullPointerDeref.id()
+    }
+}
+
+impl Checker for NpdChecker {
+    fn kind(&self) -> BugKind {
+        BugKind::NullPointerDeref
+    }
+
+    fn fsm(&self) -> FsmSpec {
+        FsmSpec {
+            states: vec!["S0", "SNON", "SN", "SNPD"],
+            events: vec!["ass_null", "br_null", "br_nonnull", "deref"],
+            bug_state: "SNPD",
+        }
+    }
+
+    fn on_inst(&self, cx: &mut TrackCtx<'_>, inst: &InstKind, info: &UpdateInfo) {
+        let id = self.id();
+        // PATA-NA: propagate state across direct assignments.
+        if matches!(inst, InstKind::Move { .. }) {
+            if let (crate::config::AliasMode::None, Some((dst, src))) = (cx.mode, info.move_pair) {
+                cx.copy_state(id, dst, src);
+            }
+        }
+        // ass_null.
+        if let InstKind::Const { value: ConstVal::Null, .. } = inst {
+            if let Some(key) = info.dst_key {
+                cx.transition(id, key, S_N, None);
+            }
+        }
+        // Storing NULL through a pointer: the stored-to object is null.
+        if let Some((key, ConstVal::Null)) = info.stored_const {
+            cx.transition(id, key, S_N, None);
+        }
+        // deref: LOAD address / STORE address / GEP base.
+        if let Some(key) = info.deref_key {
+            match cx.state(id, key) {
+                Some(entry) if entry.state == S_N => {
+                    cx.report(BugKind::NullPointerDeref, key, entry, Vec::new());
+                    cx.transition(id, key, S_NPD, Some(entry));
+                }
+                Some(entry) if entry.state == S_NPD => {
+                    // Absorbing state, but every *distinct* dereference site
+                    // is its own bug (the paper's Fig. 12a reports four
+                    // dereferences of one NULL pointer as four bugs); the
+                    // per-(origin, site) dedup keeps paths from repeating.
+                    cx.report(BugKind::NullPointerDeref, key, entry, Vec::new());
+                }
+                other => {
+                    // S0/SNON --deref--> SNON.
+                    cx.transition(id, key, S_NON, other);
+                }
+            }
+        }
+    }
+
+    fn on_branch(&self, cx: &mut TrackCtx<'_>, ev: &BranchEvent) {
+        let id = self.id();
+        // Only null tests on pointers matter: `p == NULL` / `p != NULL`
+        // (the explorer normalizes the variable to the lhs).
+        if !ev.lhs_is_pointer {
+            return;
+        }
+        let (Some(key), Some(0)) = (ev.lhs.key(), ev.rhs.as_const()) else {
+            return;
+        };
+        match ev.op {
+            CmpOp::Eq => {
+                // br_null.
+                let prior = cx.state(id, key);
+                if prior.map(|e| e.state) != Some(S_NPD) {
+                    cx.transition(id, key, S_N, None);
+                }
+            }
+            CmpOp::Ne => {
+                // br_nonnull.
+                let prior = cx.state(id, key);
+                if prior.map(|e| e.state) != Some(S_NPD) {
+                    cx.transition(id, key, S_NON, prior);
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Array-index underflow checker (Table 7 generality study).
+//!
+//! ```text
+//! S = {S0, SNEG, SNONNEG}
+//!   ass_const(c<0) / br(i<0)  --> SNEG
+//!   ass_const(c≥0) / br(i≥0)  --> SNONNEG
+//!   SNEG + index              --> bug
+//! ```
+//!
+//! Only indices with *evidence* of negativity are reported (a branch
+//! establishing `i < 0`, or a negative constant); unconstrained indices are
+//! left alone, mirroring PATA's low-noise design. The path validator then
+//! confirms the negative-index path is feasible.
+
+use crate::checkers::BugKind;
+use crate::typestate::{BranchEvent, Checker, FsmSpec, TrackCtx, UpdateInfo};
+use pata_ir::{CmpOp, ConstVal, InstKind};
+
+const S_NEG: u8 = 1;
+const S_NONNEG: u8 = 2;
+
+/// The array-index underflow checker.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct UnderflowChecker;
+
+impl UnderflowChecker {
+    fn id(&self) -> u8 {
+        BugKind::ArrayIndexUnderflow.id()
+    }
+}
+
+impl Checker for UnderflowChecker {
+    fn kind(&self) -> BugKind {
+        BugKind::ArrayIndexUnderflow
+    }
+
+    fn fsm(&self) -> FsmSpec {
+        FsmSpec {
+            states: vec!["S0", "SNEG", "SNONNEG", "SAIU"],
+            events: vec!["ass_neg", "br_neg", "br_nonneg", "index"],
+            bug_state: "SAIU",
+        }
+    }
+
+    fn on_inst(&self, cx: &mut TrackCtx<'_>, inst: &InstKind, info: &UpdateInfo) {
+        let id = self.id();
+        if matches!(inst, InstKind::Move { .. }) {
+            if let (crate::config::AliasMode::None, Some((dst, src))) = (cx.mode, info.move_pair) {
+                cx.copy_state(id, dst, src);
+            }
+        }
+        if let InstKind::Const { value: ConstVal::Int(v), .. } = inst {
+            if let Some(key) = info.dst_key {
+                let s = if *v < 0 { S_NEG } else { S_NONNEG };
+                cx.transition(id, key, s, None);
+            }
+        }
+        if let InstKind::Index { .. } = inst {
+            if let Some(c) = info.index_const {
+                if c < 0 {
+                    cx.report_here(BugKind::ArrayIndexUnderflow, Vec::new());
+                }
+            }
+            if let Some(key) = info.index_key {
+                if let Some(entry) = cx.state(id, key) {
+                    if entry.state == S_NEG {
+                        cx.report(BugKind::ArrayIndexUnderflow, key, entry, Vec::new());
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_branch(&self, cx: &mut TrackCtx<'_>, ev: &BranchEvent) {
+        let id = self.id();
+        if ev.lhs_is_pointer {
+            return;
+        }
+        let (Some(key), Some(c)) = (ev.lhs.key(), ev.rhs.as_const()) else {
+            return;
+        };
+        match ev.op {
+            // i < c with c <= 0 can make i negative; i <= c with c < 0 must.
+            CmpOp::Lt if c <= 0 => cx.transition(id, key, S_NEG, None),
+            CmpOp::Le if c < 0 => cx.transition(id, key, S_NEG, None),
+            CmpOp::Eq if c < 0 => cx.transition(id, key, S_NEG, None),
+            // Evidence of non-negativity.
+            CmpOp::Ge if c >= 0 => cx.transition(id, key, S_NONNEG, None),
+            CmpOp::Gt if c >= -1 => cx.transition(id, key, S_NONNEG, None),
+            CmpOp::Eq if c >= 0 => cx.transition(id, key, S_NONNEG, None),
+            _ => {}
+        }
+    }
+}

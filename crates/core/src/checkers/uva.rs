@@ -1,0 +1,136 @@
+//! Uninitialized-variable access checker — the paper's `FSM_UVA` (Table 2).
+//!
+//! ```text
+//! S = {S0, SUI, SI, SUVA}
+//! Σ = {ass_const, load, alloc, use}
+//!   S0  --alloc-->      SUI   (local declared / heap object allocated)
+//!   SUI --ass_const-->  SI    (first write initializes)
+//!   SUI --use/load-->   SUVA  (possible bug!)
+//! ```
+//!
+//! Two flavours of "uninitialized" are distinguished:
+//! * `SUI_SCALAR` — the *value* of a local is uninitialized (`int x;`);
+//!   reading `x` in any operand position is the `use` event.
+//! * `SUI_HEAP` — the *pointee* of a valid pointer is uninitialized
+//!   (`p = malloc(…)`, or a struct-valued local's storage); the `load`
+//!   event is a `LOAD` through the pointer, and field accesses (`GEP`)
+//!   propagate the state field-sensitively, as in the TencentOS
+//!   `pthread_create` case study (Fig. 12d).
+//!
+//! A `STORE` initializes both the written access path and the overwritten
+//! object (so the `f(&v)` out-parameter idiom marks `v` initialized), and
+//! `memset` initializes the whole object (the developers' fix in Fig. 12d).
+
+use crate::checkers::BugKind;
+use crate::typestate::{Checker, FsmSpec, TrackCtx, UpdateInfo};
+use pata_ir::InstKind;
+
+const S_UI_SCALAR: u8 = 1;
+const S_UI_HEAP: u8 = 2;
+const S_I: u8 = 3;
+const S_UVA: u8 = 4;
+
+/// The UVA checker.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct UvaChecker;
+
+impl UvaChecker {
+    fn id(&self) -> u8 {
+        BugKind::UninitVarAccess.id()
+    }
+}
+
+impl Checker for UvaChecker {
+    fn kind(&self) -> BugKind {
+        BugKind::UninitVarAccess
+    }
+
+    fn fsm(&self) -> FsmSpec {
+        FsmSpec {
+            states: vec!["S0", "SUI(scalar)", "SUI(heap)", "SI", "SUVA"],
+            events: vec!["ass_const", "load", "alloc", "use"],
+            bug_state: "SUVA",
+        }
+    }
+
+    fn on_inst(&self, cx: &mut TrackCtx<'_>, inst: &InstKind, info: &UpdateInfo) {
+        let id = self.id();
+        if matches!(inst, InstKind::Move { .. }) {
+            if let (crate::config::AliasMode::None, Some((dst, src))) = (cx.mode, info.move_pair) {
+                cx.copy_state(id, dst, src);
+            }
+        }
+        match inst {
+            // alloc events.
+            InstKind::Alloca { storage, .. } => {
+                if let Some(key) = info.dst_key {
+                    let s = if *storage { S_UI_HEAP } else { S_UI_SCALAR };
+                    cx.transition(id, key, s, None);
+                }
+            }
+            InstKind::Malloc { .. } => {
+                if let Some(key) = info.dst_key {
+                    cx.transition(id, key, S_UI_HEAP, None);
+                }
+            }
+            // Whole-object initialization.
+            InstKind::Memset { .. } => {
+                if let Some(key) = info.deref_key.or(info.dst_key) {
+                    cx.transition(id, key, S_I, None);
+                }
+            }
+            // Field sensitivity: &p->f of an uninitialized object is itself
+            // an uninitialized access path (until stored to).
+            InstKind::Gep { .. } | InstKind::Index { .. } => {
+                if let (Some(base), Some(dst)) = (info.deref_key, info.dst_key) {
+                    if cx.state(id, base).map(|e| e.state) == Some(S_UI_HEAP)
+                        && cx.state(id, dst).is_none()
+                    {
+                        let origin = cx.state(id, base);
+                        cx.transition(id, dst, S_UI_HEAP, origin);
+                    }
+                }
+            }
+            _ => {}
+        }
+
+        // use events: reading an uninitialized scalar.
+        for &(_, key) in &info.use_keys {
+            if let Some(entry) = cx.state(id, key) {
+                if entry.state == S_UI_SCALAR {
+                    cx.report(BugKind::UninitVarAccess, key, entry, Vec::new());
+                    cx.transition(id, key, S_UVA, Some(entry));
+                }
+            }
+        }
+
+        // load events: reading through a pointer to uninitialized storage.
+        if let InstKind::Load { .. } = inst {
+            if let Some(key) = info.deref_key {
+                if let Some(entry) = cx.state(id, key) {
+                    if entry.state == S_UI_HEAP {
+                        cx.report(BugKind::UninitVarAccess, key, entry, Vec::new());
+                        cx.transition(id, key, S_UVA, Some(entry));
+                    }
+                }
+            }
+        }
+
+        // ass_const through memory: a STORE initializes the written access
+        // path and the overwritten object (out-parameter idiom).
+        if let InstKind::Store { .. } = inst {
+            if let Some(key) = info.deref_key {
+                let cur = cx.state(id, key).map(|e| e.state);
+                if cur != Some(S_UVA) {
+                    cx.transition(id, key, S_I, None);
+                }
+            }
+            if let Some(old) = info.store_old_target {
+                let cur = cx.state(id, old).map(|e| e.state);
+                if cur != Some(S_UVA) {
+                    cx.transition(id, old, S_I, None);
+                }
+            }
+        }
+    }
+}

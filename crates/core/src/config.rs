@@ -1,0 +1,134 @@
+//! Analysis configuration: checker selection, path budgets, and the
+//! alias-awareness switch used for the paper's sensitivity study (Table 6).
+
+use crate::checkers::BugKind;
+
+/// How alias relationships are computed during typestate analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AliasMode {
+    /// The paper's path-based alias analysis (§3.1): one state and one SMT
+    /// symbol per alias set.
+    #[default]
+    PathBased,
+    /// *PATA-NA* (Table 6): no alias relationships — one state and one SMT
+    /// symbol per variable, memory operations are opaque. Used to measure
+    /// how much alias awareness contributes.
+    None,
+}
+
+/// Caps that keep path enumeration tractable on large modules.
+///
+/// The paper mitigates path explosion by combining path information at
+/// function returns (§4 P2) and by unrolling loops/recursion once (§3.1);
+/// these budgets additionally bound the total work per analysis root, the
+/// way any production static analyzer must.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathBudget {
+    /// Maximum completed paths explored per root function.
+    pub max_paths: usize,
+    /// Maximum instructions processed per root function.
+    pub max_insts: usize,
+    /// Maximum inlining (call) depth.
+    pub max_call_depth: usize,
+    /// Maximum instructions on one path (guards runaway inlining).
+    pub max_path_len: usize,
+    /// How many times a loop body may execute along one path. The paper
+    /// unrolls once (§3.1); §7 lists richer loop handling as future work —
+    /// raising this explores k-iteration paths at a path-count cost.
+    pub loop_iterations: usize,
+}
+
+impl Default for PathBudget {
+    fn default() -> Self {
+        PathBudget {
+            max_paths: 4096,
+            max_insts: 400_000,
+            max_call_depth: 24,
+            max_path_len: 16_384,
+            loop_iterations: 1,
+        }
+    }
+}
+
+/// Full analysis configuration.
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    /// Which checkers run. Defaults to the paper's three main bug types
+    /// (NPD, UVA, ML — §5.1).
+    pub checkers: Vec<BugKind>,
+    /// Alias-awareness mode (Table 6 sensitivity switch).
+    pub alias_mode: AliasMode,
+    /// Per-root exploration budgets.
+    pub budget: PathBudget,
+    /// Whether stage 2 validates path feasibility with the SMT solver and
+    /// drops unsatisfiable candidates (§3.3). Disabling reproduces a
+    /// "no-path-validation" ablation.
+    pub validate_paths: bool,
+    /// Number of worker threads for root-level parallelism (0 = all cores).
+    pub threads: usize,
+    /// Resolve indirect calls whose target is pinned by the alias graph
+    /// (a `FuncAddr` stored along the current path). The paper's PATA does
+    /// not handle function-pointer calls and names this as future work
+    /// (§7); off by default to match the paper.
+    pub resolve_fptrs: bool,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            checkers: vec![BugKind::NullPointerDeref, BugKind::UninitVarAccess, BugKind::MemoryLeak],
+            alias_mode: AliasMode::PathBased,
+            budget: PathBudget::default(),
+            validate_paths: true,
+            threads: 0,
+            resolve_fptrs: false,
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// A configuration running every built-in checker (Tables 5 + 7).
+    pub fn all_checkers() -> Self {
+        AnalysisConfig { checkers: BugKind::ALL.to_vec(), ..AnalysisConfig::default() }
+    }
+
+    /// The PATA-NA configuration used in the sensitivity study (Table 6).
+    pub fn without_alias() -> Self {
+        AnalysisConfig { alias_mode: AliasMode::None, ..AnalysisConfig::default() }
+    }
+
+    /// Builder-style checker selection.
+    pub fn with_checkers(mut self, checkers: Vec<BugKind>) -> Self {
+        self.checkers = checkers;
+        self
+    }
+
+    /// Builder-style budget override.
+    pub fn with_budget(mut self, budget: PathBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_runs_three_paper_checkers() {
+        let c = AnalysisConfig::default();
+        assert_eq!(c.checkers.len(), 3);
+        assert_eq!(c.alias_mode, AliasMode::PathBased);
+        assert!(c.validate_paths);
+    }
+
+    #[test]
+    fn all_checkers_covers_seven() {
+        assert_eq!(AnalysisConfig::all_checkers().checkers.len(), 7);
+    }
+
+    #[test]
+    fn without_alias_is_na_mode() {
+        assert_eq!(AnalysisConfig::without_alias().alias_mode, AliasMode::None);
+    }
+}

@@ -1,0 +1,759 @@
+//! The analysis driver tying the pipeline together (paper Fig. 10):
+//! information collection → per-root path-sensitive code analysis
+//! (parallelized across roots) → bug filtering.
+
+use crate::collector;
+use crate::config::AnalysisConfig;
+use crate::filter;
+use crate::path::Explorer;
+use crate::report::{BugReport, PossibleBug};
+use crate::stats::AnalysisStats;
+use crate::typestate::Checker;
+use pata_ir::{FuncId, Module};
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// The result of a full PATA run.
+#[derive(Debug)]
+pub struct AnalysisOutcome {
+    /// Final validated bug reports.
+    pub reports: Vec<BugReport>,
+    /// The surviving candidates behind the reports.
+    pub real_bugs: Vec<PossibleBug>,
+    /// Aggregate statistics (Table 5 counters).
+    pub stats: AnalysisStats,
+    /// The analyzed module, with interface functions marked.
+    pub module: Module,
+}
+
+/// The PATA analyzer.
+///
+/// ```
+/// use pata_core::{AnalysisConfig, Pata};
+///
+/// let module = pata_cc::compile_one("m.c", "void root(void) { }").unwrap();
+/// let outcome = Pata::new(AnalysisConfig::default()).analyze(module);
+/// assert_eq!(outcome.stats.roots, 1);
+/// ```
+#[derive(Debug)]
+pub struct Pata {
+    config: AnalysisConfig,
+}
+
+impl Pata {
+    /// Creates an analyzer with `config`.
+    pub fn new(config: AnalysisConfig) -> Self {
+        Pata { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline on `module`.
+    pub fn analyze(&self, module: Module) -> AnalysisOutcome {
+        let checkers: Vec<Box<dyn Checker>> =
+            self.config.checkers.iter().map(|k| k.instantiate()).collect();
+        self.analyze_with(module, &checkers)
+    }
+
+    /// Runs the pipeline with custom checker instances (e.g. user-defined
+    /// FSMs; see `examples/custom_checker.rs`).
+    pub fn analyze_with(&self, mut module: Module, checkers: &[Box<dyn Checker>]) -> AnalysisOutcome {
+        let start = Instant::now();
+        // P1: information collection.
+        let roots = collector::mark_interfaces(&mut module);
+
+        // P2: per-root path-sensitive analysis.
+        let mut stats = AnalysisStats {
+            files_analyzed: module.files().len() as u64,
+            loc_analyzed: module.total_loc(),
+            ..AnalysisStats::default()
+        };
+        let candidates = self.run_roots(&module, checkers, &roots, &mut stats);
+
+        // P3: bug filtering (dedup + path validation).
+        let result = filter::filter(&module, candidates, self.config.validate_paths, &mut stats);
+        stats.time = start.elapsed();
+        AnalysisOutcome {
+            reports: result.reports,
+            real_bugs: result.real_bugs,
+            stats,
+            module,
+        }
+    }
+
+    fn run_roots(
+        &self,
+        module: &Module,
+        checkers: &[Box<dyn Checker>],
+        roots: &[FuncId],
+        stats: &mut AnalysisStats,
+    ) -> Vec<PossibleBug> {
+        let threads = if self.config.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.config.threads
+        };
+        let threads = threads.min(roots.len().max(1));
+
+        if threads <= 1 || roots.len() <= 1 {
+            let mut all = Vec::new();
+            for &root in roots {
+                let explorer = Explorer::new(module, &self.config, checkers, root);
+                let result = explorer.explore();
+                *stats += &result.stats;
+                all.extend(result.candidates);
+            }
+            // Candidates are ordered by root for determinism.
+            return all;
+        }
+
+        // Root-level parallelism: each worker pulls the next root index.
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, Vec<PossibleBug>, AnalysisStats)>> =
+            Mutex::new(Vec::new());
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= roots.len() {
+                        break;
+                    }
+                    let explorer = Explorer::new(module, &self.config, checkers, roots[i]);
+                    let result = explorer.explore();
+                    collected.lock().push((i, result.candidates, result.stats));
+                });
+            }
+        })
+        .expect("analysis worker panicked");
+
+        let mut per_root = collected.into_inner();
+        per_root.sort_by_key(|(i, _, _)| *i); // determinism across runs
+        let mut all = Vec::new();
+        for (_, candidates, s) in per_root {
+            *stats += &s;
+            all.extend(candidates);
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkers::BugKind;
+
+    fn analyze(src: &str) -> AnalysisOutcome {
+        let module = pata_cc::compile_one("t.c", src).unwrap();
+        Pata::new(AnalysisConfig { threads: 1, ..AnalysisConfig::default() }).analyze(module)
+    }
+
+    fn analyze_all(src: &str) -> AnalysisOutcome {
+        let module = pata_cc::compile_one("t.c", src).unwrap();
+        let cfg = AnalysisConfig { threads: 1, ..AnalysisConfig::all_checkers() };
+        Pata::new(cfg).analyze(module)
+    }
+
+    fn kinds(outcome: &AnalysisOutcome) -> Vec<BugKind> {
+        outcome.reports.iter().map(|r| r.kind).collect()
+    }
+
+    // ----------------------------------------------------------------
+    // NPD
+    // ----------------------------------------------------------------
+
+    #[test]
+    fn npd_check_then_deref_same_function() {
+        let out = analyze(
+            r#"
+            struct dev { int *res; };
+            int probe(struct dev *d) {
+                if (d->res == NULL) { }
+                return *d->res;
+            }
+            "#,
+        );
+        assert!(kinds(&out).contains(&BugKind::NullPointerDeref), "{:?}", out.reports);
+    }
+
+    #[test]
+    fn npd_guarded_deref_not_reported() {
+        let out = analyze(
+            r#"
+            struct dev { int *res; };
+            int probe(struct dev *d) {
+                if (d->res == NULL) { return -1; }
+                return *d->res;
+            }
+            "#,
+        );
+        assert!(!kinds(&out).contains(&BugKind::NullPointerDeref), "{:?}", out.reports);
+    }
+
+    #[test]
+    fn npd_cross_function_alias_fig3() {
+        // The Zephyr friend_set bug shape (paper Fig. 3): the NULL check in
+        // the caller, the dereference through an alias in the callee.
+        let out = analyze(
+            r#"
+            struct cfg_t { int frnd; };
+            struct model_t { struct cfg_t *user_data; };
+            void send_status(struct model_t *model) {
+                struct cfg_t *cfg = model->user_data;
+                int x = cfg->frnd;
+            }
+            void friend_set(struct model_t *model) {
+                struct cfg_t *cfg = model->user_data;
+                if (!cfg) {
+                    goto send;
+                }
+                cfg->frnd = 1;
+                return;
+            send:
+                send_status(model);
+            }
+            "#,
+        );
+        let npd: Vec<_> =
+            out.reports.iter().filter(|r| r.kind == BugKind::NullPointerDeref).collect();
+        assert!(!npd.is_empty(), "expected the Fig. 3 NPD, got {:?}", out.reports);
+        assert!(npd.iter().any(|r| r.function == "send_status"));
+    }
+
+    #[test]
+    fn npd_infeasible_path_filtered_fig9() {
+        // Paper Fig. 9: the q-deref path requires p->f == 0 AND t->f != 0,
+        // but p and t alias — infeasible, dropped by validation.
+        let out = analyze(
+            r#"
+            struct s { int f; };
+            void func(struct s *p, int *q) {
+                struct s *t;
+                if (q == NULL) {
+                    p->f = 0;
+                }
+                t = p;
+                if (t->f != 0) {
+                    int v = *q;
+                }
+            }
+            "#,
+        );
+        assert!(
+            !kinds(&out).contains(&BugKind::NullPointerDeref),
+            "alias-aware validation must drop the Fig. 9 false bug: {:?}",
+            out.reports
+        );
+        assert!(out.stats.false_bugs_dropped >= 1, "{:?}", out.stats);
+    }
+
+    // ----------------------------------------------------------------
+    // UVA
+    // ----------------------------------------------------------------
+
+    #[test]
+    fn uva_scalar_use_before_init() {
+        let out = analyze(
+            r#"
+            int f(int c) {
+                int x;
+                if (c > 0) { x = 1; }
+                return x;
+            }
+            "#,
+        );
+        assert!(kinds(&out).contains(&BugKind::UninitVarAccess), "{:?}", out.reports);
+    }
+
+    #[test]
+    fn uva_initialized_not_reported() {
+        let out = analyze("int f(void) { int x = 1; return x; }");
+        assert!(!kinds(&out).contains(&BugKind::UninitVarAccess));
+    }
+
+    #[test]
+    fn uva_out_param_initialization_seen() {
+        let out = analyze(
+            r#"
+            void fill(int *out) { *out = 5; }
+            int f(void) {
+                int v;
+                fill(&v);
+                return v;
+            }
+            "#,
+        );
+        assert!(
+            !kinds(&out).contains(&BugKind::UninitVarAccess),
+            "out-parameter init must be seen through the alias graph: {:?}",
+            out.reports
+        );
+    }
+
+    #[test]
+    fn uva_malloc_field_never_written_fig12d() {
+        // TencentOS pthread_create shape (Fig. 12d): allocate, alias, read
+        // a field without initialization.
+        let out = analyze(
+            r#"
+            struct ctl { int ktask; };
+            int create(void) {
+                int *stackaddr = tos_mmheap_alloc(64);
+                struct ctl *the_ctl = (struct ctl *)stackaddr;
+                return the_ctl->ktask;
+            }
+            "#,
+        );
+        assert!(kinds(&out).contains(&BugKind::UninitVarAccess), "{:?}", out.reports);
+    }
+
+    #[test]
+    fn uva_memset_initializes_fig12d_fix() {
+        let out = analyze(
+            r#"
+            struct ctl { int ktask; };
+            int create(void) {
+                int *stackaddr = tos_mmheap_alloc(64);
+                memset(stackaddr, 0, 64);
+                struct ctl *the_ctl = (struct ctl *)stackaddr;
+                return the_ctl->ktask;
+            }
+            "#,
+        );
+        assert!(!kinds(&out).contains(&BugKind::UninitVarAccess), "{:?}", out.reports);
+    }
+
+    // ----------------------------------------------------------------
+    // ML
+    // ----------------------------------------------------------------
+
+    #[test]
+    fn ml_error_path_leak_fig12c() {
+        // RIOT make_message shape (Fig. 12c): malloc, error return without
+        // free.
+        let out = analyze(
+            r#"
+            int make_message(int n) {
+                int *message = malloc(64);
+                if (message == NULL) { return -1; }
+                if (n < 0) { return -2; }
+                free(message);
+                return 0;
+            }
+            "#,
+        );
+        let ml: Vec<_> = out.reports.iter().filter(|r| r.kind == BugKind::MemoryLeak).collect();
+        assert_eq!(ml.len(), 1, "{:?}", out.reports);
+    }
+
+    #[test]
+    fn ml_returned_pointer_not_leak() {
+        let out = analyze(
+            r#"
+            int *alloc_buf(void) {
+                int *p = malloc(16);
+                return p;
+            }
+            "#,
+        );
+        assert!(!kinds(&out).contains(&BugKind::MemoryLeak), "{:?}", out.reports);
+    }
+
+    #[test]
+    fn ml_freed_through_alias_not_leak() {
+        let out = analyze(
+            r#"
+            void f(void) {
+                int *p = malloc(16);
+                int *q = p;
+                free(q);
+            }
+            "#,
+        );
+        assert!(!kinds(&out).contains(&BugKind::MemoryLeak), "{:?}", out.reports);
+    }
+
+    #[test]
+    fn ml_caller_drops_callee_allocation() {
+        let out = analyze(
+            r#"
+            int *make(void) { int *p = malloc(8); return p; }
+            void use_it(void) {
+                int *b = make();
+                if (b == NULL) { return; }
+            }
+            "#,
+        );
+        assert!(kinds(&out).contains(&BugKind::MemoryLeak), "{:?}", out.reports);
+    }
+
+    #[test]
+    fn ml_stored_into_field_escapes() {
+        let out = analyze(
+            r#"
+            struct dev { int *buf; };
+            void attach(struct dev *d) {
+                int *p = malloc(32);
+                d->buf = p;
+            }
+            "#,
+        );
+        assert!(!kinds(&out).contains(&BugKind::MemoryLeak), "{:?}", out.reports);
+    }
+
+    // ----------------------------------------------------------------
+    // Table 7 checkers
+    // ----------------------------------------------------------------
+
+    #[test]
+    fn double_lock_reported() {
+        let out = analyze_all(
+            r#"
+            struct lk { int x; };
+            void f(struct lk *l, int c) {
+                spin_lock(l);
+                if (c) {
+                    spin_lock(l);
+                }
+                spin_unlock(l);
+            }
+            "#,
+        );
+        assert!(kinds(&out).contains(&BugKind::DoubleLock), "{:?}", out.reports);
+    }
+
+    #[test]
+    fn balanced_lock_not_reported() {
+        let out = analyze_all(
+            r#"
+            struct lk { int x; };
+            void f(struct lk *l) {
+                spin_lock(l);
+                spin_unlock(l);
+                spin_lock(l);
+                spin_unlock(l);
+            }
+            "#,
+        );
+        assert!(!kinds(&out).contains(&BugKind::DoubleLock), "{:?}", out.reports);
+    }
+
+    #[test]
+    fn division_by_zero_on_checked_zero_path() {
+        let out = analyze_all(
+            r#"
+            int f(int d, int n) {
+                if (d == 0) {
+                    return n / d;
+                }
+                return n / d;
+            }
+            "#,
+        );
+        let dbz: Vec<_> =
+            out.reports.iter().filter(|r| r.kind == BugKind::DivisionByZero).collect();
+        assert_eq!(dbz.len(), 1, "{:?}", out.reports);
+    }
+
+    #[test]
+    fn array_index_underflow_on_negative_path() {
+        let out = analyze_all(
+            r#"
+            int f(int i) {
+                int a[8];
+                a[0] = 1;
+                if (i < 0) {
+                    return a[i];
+                }
+                return a[0];
+            }
+            "#,
+        );
+        assert!(kinds(&out).contains(&BugKind::ArrayIndexUnderflow), "{:?}", out.reports);
+    }
+
+    // ----------------------------------------------------------------
+    // Sensitivity (PATA-NA) & stats
+    // ----------------------------------------------------------------
+
+    #[test]
+    fn na_mode_misses_alias_bug_but_keeps_direct_bug() {
+        let src = r#"
+            struct cfg_t { int frnd; };
+            struct model_t { struct cfg_t *user_data; };
+            void send_status(struct model_t *model) {
+                struct cfg_t *cfg = model->user_data;
+                int x = cfg->frnd;
+            }
+            void friend_set(struct model_t *model) {
+                struct cfg_t *cfg = model->user_data;
+                if (!cfg) {
+                    goto send;
+                }
+                cfg->frnd = 1;
+                return;
+            send:
+                send_status(model);
+            }
+            int direct(int *p) {
+                if (p == NULL) { }
+                return *p;
+            }
+        "#;
+        let module = pata_cc::compile_one("t.c", src).unwrap();
+        let na = Pata::new(AnalysisConfig { threads: 1, ..AnalysisConfig::without_alias() })
+            .analyze(module);
+        let na_kinds = kinds(&na);
+        // The direct bug (check + deref of the same variable) survives…
+        assert!(na_kinds.contains(&BugKind::NullPointerDeref), "{:?}", na.reports);
+        // …but the cross-function alias bug is missed.
+        assert!(
+            !na.reports.iter().any(|r| r.function == "send_status"),
+            "PATA-NA must miss the alias bug: {:?}",
+            na.reports
+        );
+    }
+
+    #[test]
+    fn alias_mode_drops_more_typestates_and_constraints() {
+        let src = r#"
+            struct s { int f; };
+            int root(struct s *p) {
+                struct s *a = p;
+                struct s *b = a;
+                struct s *c = b;
+                if (p == NULL) { return -1; }
+                return c->f;
+            }
+        "#;
+        let module = pata_cc::compile_one("t.c", src).unwrap();
+        let out = Pata::new(AnalysisConfig { threads: 1, ..AnalysisConfig::default() })
+            .analyze(module);
+        assert!(out.stats.typestates_unaware > out.stats.typestates_aware);
+        assert!(out.stats.constraints_unaware > out.stats.constraints_aware);
+    }
+
+    #[test]
+    fn loops_terminate() {
+        let out = analyze(
+            r#"
+            int f(int n) {
+                int i;
+                int total = 0;
+                for (i = 0; i < n; i++) {
+                    total += i;
+                    if (total > 100) { break; }
+                }
+                while (total > 0) { total -= 1; }
+                return total;
+            }
+            "#,
+        );
+        assert!(out.stats.paths_explored >= 1);
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        let out = analyze(
+            r#"
+            int fact(int n) {
+                if (n <= 1) { return 1; }
+                return n * fact(n - 1);
+            }
+            int root(void) { return fact(5); }
+            "#,
+        );
+        assert!(out.stats.paths_explored >= 1);
+    }
+
+    // ----------------------------------------------------------------
+    // UAF checker (framework-generality extension)
+    // ----------------------------------------------------------------
+
+    #[test]
+    fn uaf_through_alias_detected() {
+        let out = analyze_all(
+            r#"
+            void f(int n) {
+                int *p = malloc(n);
+                if (p == NULL) { return; }
+                int *q = p;
+                free(p);
+                int v = *q;
+            }
+            "#,
+        );
+        assert!(kinds(&out).contains(&BugKind::UseAfterFree), "{:?}", out.reports);
+    }
+
+    #[test]
+    fn double_free_detected_as_uaf() {
+        let out = analyze_all(
+            r#"
+            void f(int n) {
+                int *p = malloc(n);
+                if (p == NULL) { return; }
+                free(p);
+                free(p);
+            }
+            "#,
+        );
+        assert!(kinds(&out).contains(&BugKind::UseAfterFree), "{:?}", out.reports);
+    }
+
+    #[test]
+    fn free_then_realloc_not_uaf() {
+        let out = analyze_all(
+            r#"
+            void f(int n) {
+                int *p = malloc(n);
+                if (p == NULL) { return; }
+                free(p);
+                p = malloc(n);
+                if (p == NULL) { return; }
+                *p = 1;
+                free(p);
+            }
+            "#,
+        );
+        assert!(!kinds(&out).contains(&BugKind::UseAfterFree), "{:?}", out.reports);
+    }
+
+    // ----------------------------------------------------------------
+    // §7 extension: function-pointer resolution
+    // ----------------------------------------------------------------
+
+    const CALLBACK_SRC: &str = r#"
+        struct dev { int *res; int handler; };
+        void cb(struct dev *d) {
+            int x = *d->res;
+        }
+        void setup(struct dev *d) {
+            d->handler = cb;
+            if (d->res == NULL) {
+                d->handler(d);
+            }
+        }
+    "#;
+
+    #[test]
+    fn indirect_call_unresolved_by_default() {
+        // Matches the paper: "PATA does not handle function-pointer calls,
+        // and thus it cannot find bugs whose bug-trigger paths pass through
+        // indirect function calls" (§7).
+        let module = pata_cc::compile_one("t.c", CALLBACK_SRC).unwrap();
+        let out = Pata::new(AnalysisConfig { threads: 1, ..AnalysisConfig::default() })
+            .analyze(module);
+        assert!(
+            !out.reports.iter().any(|r| r.kind == BugKind::NullPointerDeref),
+            "{:?}",
+            out.reports
+        );
+    }
+
+    #[test]
+    fn indirect_call_resolved_with_extension() {
+        let module = pata_cc::compile_one("t.c", CALLBACK_SRC).unwrap();
+        let out = Pata::new(AnalysisConfig {
+            threads: 1,
+            resolve_fptrs: true,
+            ..AnalysisConfig::default()
+        })
+        .analyze(module);
+        let hit = out
+            .reports
+            .iter()
+            .any(|r| r.kind == BugKind::NullPointerDeref && r.function == "cb");
+        assert!(hit, "the callback bug needs the caller's null state: {:?}", out.reports);
+    }
+
+    #[test]
+    fn fptr_resolution_through_local_variable() {
+        let src = r#"
+            struct dev { int *res; };
+            int deref_cb(struct dev *d) { return *d->res; }
+            void run(struct dev *d) {
+                int fp = deref_cb;
+                if (d->res == NULL) {
+                    fp(d);
+                }
+            }
+        "#;
+        let module = pata_cc::compile_one("t.c", src).unwrap();
+        let out = Pata::new(AnalysisConfig {
+            threads: 1,
+            resolve_fptrs: true,
+            ..AnalysisConfig::default()
+        })
+        .analyze(module);
+        assert!(
+            out.reports.iter().any(|r| r.function == "deref_cb"),
+            "{:?}",
+            out.reports
+        );
+    }
+
+    // ----------------------------------------------------------------
+    // §7 extension: deeper loop unrolling
+    // ----------------------------------------------------------------
+
+    #[test]
+    fn loop_unrolling_depth_controls_iteration_bugs() {
+        // p becomes NULL only on the second loop iteration; the deref after
+        // the loop needs a 2-iteration path.
+        let src = r#"
+            struct dev { int *res; };
+            int sweep(struct dev *d, int n) {
+                int *p = d->res;
+                int i;
+                for (i = 0; i < n; i++) {
+                    if (i == 1) {
+                        p = NULL;
+                    }
+                }
+                return *p;
+            }
+        "#;
+        let one = {
+            let module = pata_cc::compile_one("t.c", src).unwrap();
+            Pata::new(AnalysisConfig { threads: 1, ..AnalysisConfig::default() })
+                .analyze(module)
+        };
+        assert!(
+            !one.reports.iter().any(|r| r.kind == BugKind::NullPointerDeref),
+            "1-iteration unrolling cannot reach i == 1: {:?}",
+            one.reports
+        );
+        let two = {
+            let module = pata_cc::compile_one("t.c", src).unwrap();
+            let mut cfg = AnalysisConfig { threads: 1, ..AnalysisConfig::default() };
+            cfg.budget.loop_iterations = 2;
+            Pata::new(cfg).analyze(module)
+        };
+        assert!(
+            two.reports.iter().any(|r| r.kind == BugKind::NullPointerDeref),
+            "2-iteration unrolling reaches the assignment: {:?}",
+            two.reports
+        );
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let src = r#"
+            int a(int *p) { if (p == NULL) { } return *p; }
+            int b(int *p) { if (p == NULL) { } return *p; }
+            int c(int *p) { if (p == NULL) { } return *p; }
+            int d(int *p) { if (p == NULL) { } return *p; }
+        "#;
+        let m1 = pata_cc::compile_one("t.c", src).unwrap();
+        let m2 = pata_cc::compile_one("t.c", src).unwrap();
+        let seq = Pata::new(AnalysisConfig { threads: 1, ..AnalysisConfig::default() })
+            .analyze(m1);
+        let par = Pata::new(AnalysisConfig { threads: 4, ..AnalysisConfig::default() })
+            .analyze(m2);
+        assert_eq!(seq.reports.len(), par.reports.len());
+        assert_eq!(seq.stats.paths_explored, par.stats.paths_explored);
+    }
+}

@@ -1,0 +1,136 @@
+//! The bug filter (paper §4, phase P3): cross-root deduplication of
+//! repeated bugs, then alias-aware path validation.
+
+use crate::report::{BugReport, PossibleBug};
+use crate::stats::AnalysisStats;
+use crate::validate::{validate, Feasibility};
+use pata_ir::Module;
+use std::collections::HashMap;
+
+/// Output of filtering.
+#[derive(Debug)]
+pub struct FilterResult {
+    /// Validated, rendered reports.
+    pub reports: Vec<BugReport>,
+    /// The surviving candidates (same order as `reports`).
+    pub real_bugs: Vec<PossibleBug>,
+}
+
+/// Deduplicates candidates by problematic-instruction pair and validates
+/// each survivor's path feasibility, updating `stats` (dropped repeated /
+/// false bugs, reported count).
+pub fn filter(
+    module: &Module,
+    candidates: Vec<PossibleBug>,
+    validate_paths: bool,
+    stats: &mut AnalysisStats,
+) -> FilterResult {
+    // Group path snapshots by problematic-instruction pair (§4 P3): two
+    // candidates with identical instructions are the same bug reached along
+    // different paths (possibly from different analysis roots). The bug is
+    // real if *any* of its paths is feasible.
+    let mut order: Vec<(crate::checkers::BugKind, pata_ir::InstId, pata_ir::InstId)> = Vec::new();
+    let mut groups: HashMap<_, Vec<PossibleBug>> = HashMap::new();
+    for bug in candidates {
+        let key = bug.dedup_key();
+        let entry = groups.entry(key).or_default();
+        if entry.is_empty() {
+            order.push(key);
+        } else {
+            stats.repeated_bugs_dropped += 1;
+        }
+        entry.push(bug);
+    }
+
+    let mut reports = Vec::new();
+    let mut real = Vec::new();
+    for key in order {
+        let paths = groups.remove(&key).expect("grouped");
+        let witness = if validate_paths {
+            paths.into_iter().find(|bug| validate(bug) == Feasibility::Feasible)
+        } else {
+            paths.into_iter().next()
+        };
+        match witness {
+            Some(bug) => {
+                stats.reported += 1;
+                reports.push(BugReport::from_possible(&bug, module));
+                real.push(bug);
+            }
+            None => {
+                stats.false_bugs_dropped += 1;
+            }
+        }
+    }
+    FilterResult { reports, real_bugs: real }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkers::BugKind;
+    use pata_ir::{BlockId, FuncId, InstId, Loc};
+    use pata_smt::{CmpOp, Constraint, SymId, Term};
+
+    fn module_with_one_fn() -> Module {
+        pata_cc::compile_one("f.c", "void f(void) { }").unwrap()
+    }
+
+    fn bug(site: usize, constraints: Vec<Constraint>) -> PossibleBug {
+        PossibleBug {
+            kind: BugKind::NullPointerDeref,
+            origin_loc: Loc::default(),
+            origin_id: InstId {
+                func: FuncId::from_index(0),
+                block: BlockId::from_index(0),
+                inst: 0,
+            },
+            site_loc: Loc::default(),
+            site_id: InstId {
+                func: FuncId::from_index(0),
+                block: BlockId::from_index(0),
+                inst: site,
+            },
+            constraints,
+            extra: vec![],
+            alias_paths: vec![],
+            root: FuncId::from_index(0),
+        }
+    }
+
+    #[test]
+    fn dedup_drops_repeats() {
+        let m = module_with_one_fn();
+        let mut stats = AnalysisStats::default();
+        let out = filter(&m, vec![bug(1, vec![]), bug(1, vec![]), bug(2, vec![])], true, &mut stats);
+        assert_eq!(out.reports.len(), 2);
+        assert_eq!(stats.repeated_bugs_dropped, 1);
+    }
+
+    #[test]
+    fn infeasible_candidates_dropped() {
+        let m = module_with_one_fn();
+        let mut stats = AnalysisStats::default();
+        let contradiction = vec![
+            Constraint::new(CmpOp::Eq, Term::sym(SymId(0)), Term::int(0)),
+            Constraint::new(CmpOp::Ne, Term::sym(SymId(0)), Term::int(0)),
+        ];
+        let out = filter(&m, vec![bug(1, contradiction), bug(2, vec![])], true, &mut stats);
+        assert_eq!(out.reports.len(), 1);
+        assert_eq!(stats.false_bugs_dropped, 1);
+        assert_eq!(stats.reported, 1);
+    }
+
+    #[test]
+    fn validation_can_be_disabled() {
+        let m = module_with_one_fn();
+        let mut stats = AnalysisStats::default();
+        let contradiction = vec![
+            Constraint::new(CmpOp::Eq, Term::sym(SymId(0)), Term::int(0)),
+            Constraint::new(CmpOp::Ne, Term::sym(SymId(0)), Term::int(0)),
+        ];
+        let out = filter(&m, vec![bug(1, contradiction)], false, &mut stats);
+        assert_eq!(out.reports.len(), 1);
+        assert_eq!(stats.false_bugs_dropped, 0);
+    }
+}

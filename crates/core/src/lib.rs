@@ -1,0 +1,69 @@
+//! # pata-core — the PATA analysis framework
+//!
+//! This crate implements the three key techniques of *"Path-Sensitive and
+//! Alias-Aware Typestate Analysis for Detecting OS Bugs"* (ASPLOS'22):
+//!
+//! 1. **Path-based alias analysis** (§3.1) — [`alias::AliasGraph`] maintains
+//!    one alias graph per control-flow path, updated by the `MOVE` / `STORE`
+//!    / `LOAD` / `GEP` rules of Fig. 5, without any points-to information.
+//!    Function calls become parameter `MOVE`s (Fig. 6).
+//! 2. **Alias-aware typestate tracking** (§3.2) — [`typestate`] keeps *one*
+//!    state per alias set (graph node) per checker instead of one state per
+//!    variable; the six built-in [`checkers`] cover null-pointer
+//!    dereferences, uninitialized-variable accesses, memory leaks (Table 2)
+//!    and double lock/unlock, array-index underflow, division by zero
+//!    (Table 7).
+//! 3. **Alias-aware path validation** (§3.3) — [`validate`] maps every alias
+//!    set to a single SMT symbol (Def. 4) and translates the candidate
+//!    bug's path to constraints (Table 3), discharging them with
+//!    [`pata_smt`]'s conjunction solver to drop infeasible (false) bugs.
+//!
+//! The pipeline mirrors the paper's three phases (§4): the information
+//! collector ([`collector`]) finds *module interface functions* (functions
+//! with no explicit caller — e.g. driver `probe` callbacks registered via
+//! function-pointer fields, Fig. 1); the code analyzer ([`path`], driven by
+//! [`driver::Pata`]) explores paths from those roots while tracking alias
+//! graphs and typestates; the bug filter ([`filter`]) deduplicates repeated
+//! bugs and validates path feasibility.
+//!
+//! # Quick start
+//!
+//! ```
+//! use pata_core::{AnalysisConfig, Pata};
+//!
+//! let module = pata_cc::compile_one(
+//!     "demo.c",
+//!     r#"
+//!     struct dev { int *res; };
+//!     static int demo_probe(struct dev *d) {
+//!         if (d->res == NULL) { }
+//!         return *d->res;        // NPD when d->res is NULL
+//!     }
+//!     static struct drv demo_driver = { .probe = demo_probe };
+//!     "#,
+//! ).unwrap();
+//!
+//! let outcome = Pata::new(AnalysisConfig::default()).analyze(module);
+//! assert!(outcome.reports.iter().any(|r| r.kind.as_str() == "null-pointer-dereference"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alias;
+pub mod checkers;
+pub mod collector;
+pub mod config;
+pub mod driver;
+pub mod filter;
+pub mod path;
+pub mod report;
+pub mod stats;
+pub mod typestate;
+pub mod validate;
+
+pub use checkers::BugKind;
+pub use config::{AliasMode, AnalysisConfig, PathBudget};
+pub use driver::{AnalysisOutcome, Pata};
+pub use report::{BugReport, PossibleBug};
+pub use stats::AnalysisStats;

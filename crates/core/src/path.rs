@@ -1,0 +1,1125 @@
+//! The path explorer: depth-first control-flow-path enumeration with
+//! in-lockstep alias-graph updates (§3.1, Fig. 6), typestate tracking
+//! (§3.2) and SMT-constraint collection for later path validation (§3.3).
+//!
+//! ## Traversal (paper Fig. 6)
+//!
+//! Analysis starts at a *module interface function* and walks the CFG
+//! depth-first. At a conditional branch the current state (alias graph,
+//! typestates, condition definitions, symbols, constraint trace) is marked,
+//! one successor is fully explored, and the state is rolled back before the
+//! other successor — the paper's per-path "COPY" of the alias graph (Fig. 7)
+//! implemented with undo journals instead of clones.
+//!
+//! Loops and recursion are unrolled once: a successor block already on the
+//! current within-frame DFS stack is not re-entered, and a callee already on
+//! the call stack is treated as opaque (the paper's Fig. 6 lines 32-38 and
+//! §3.1 soundness discussion).
+//!
+//! ## Calls (paper Fig. 6, HandleCALL)
+//!
+//! A direct call is inlined: actual arguments `MOVE` into formal parameters
+//! (making them aliases), the callee is explored as a continuation of the
+//! same path, and its `return` value `MOVE`s into the caller's destination.
+//! External and indirect callees are opaque (PATA does not resolve
+//! function pointers, §7); their pointer arguments conservatively escape.
+//!
+//! ## Constraints (paper §3.3, Table 3)
+//!
+//! Every alias set maps to one SMT symbol (Def. 4). `MOVE`/`LOAD`/`GEP`
+//! therefore emit *no* constraints — the symbol identity makes the explicit
+//! copy equalities and the implicit field equalities of Fig. 9 hold by
+//! construction; the explorer counts what an alias-unaware encoding would
+//! have emitted instead (Table 5's "SMT constraints unaware" column).
+
+use crate::alias::{AliasGraph, Label, Mark as GraphMark, NodeId};
+use crate::checkers::ml;
+use crate::config::{AliasMode, AnalysisConfig};
+use crate::report::PossibleBug;
+use crate::stats::AnalysisStats;
+use crate::typestate::{
+    BranchEvent, Checker, FrameEndEvent, HeapObject, OperandKey, PendingBug, StateMark,
+    StateTable, TrackCtx, TrackKey,
+};
+use pata_ir::{
+    BlockId, Callee, CmpOp, ConstVal, FuncId, Inst, InstId, InstKind, Loc, Module, Operand,
+    Terminator, VarId,
+};
+use pata_smt::{CmpOp as SmtOp, Constraint, SymId, Term};
+use std::collections::HashMap;
+
+/// The definition of a branch-condition temporary (`c = a < b`).
+#[derive(Debug, Clone, Copy)]
+struct PredDef {
+    op: CmpOp,
+    lhs: Operand,
+    rhs: Operand,
+}
+
+/// One inlined function activation.
+#[derive(Debug)]
+struct Frame {
+    func: FuncId,
+    /// Per-block visit counts on the current DFS stack within this frame
+    /// (the loop cut: a block may appear `loop_iterations + 1` times on a
+    /// path, letting a loop body run `loop_iterations` times and the path
+    /// still leave through the header's exit edge).
+    visited: HashMap<BlockId, u32>,
+    /// Heap objects allocated while this frame was active.
+    heap_objects: Vec<HeapObject>,
+}
+
+impl Frame {
+    fn new(func: FuncId) -> Self {
+        Frame { func, visited: HashMap::new(), heap_objects: Vec::new() }
+    }
+}
+
+/// A pending return site while a callee is being explored.
+#[derive(Debug, Clone, Copy)]
+struct Cont {
+    func: FuncId,
+    block: BlockId,
+    next_inst: usize,
+    dst: Option<VarId>,
+}
+
+/// A combined rollback point across all journaled structures.
+#[derive(Debug, Clone)]
+struct FullMark {
+    graph: GraphMark,
+    states: StateMark,
+    conds: usize,
+    syms: usize,
+    fptrs: usize,
+    trace: usize,
+    heap_lens: Vec<usize>,
+}
+
+/// The per-root path explorer. Construct one per analysis root via
+/// [`Explorer::new`] and run [`Explorer::explore`].
+pub struct Explorer<'a> {
+    module: &'a Module,
+    config: &'a AnalysisConfig,
+    checkers: &'a [Box<dyn Checker>],
+
+    graph: AliasGraph,
+    states: StateTable,
+    cond_defs: HashMap<VarId, PredDef>,
+    cond_journal: Vec<(VarId, Option<PredDef>)>,
+    syms: HashMap<TrackKey, SymId>,
+    sym_journal: Vec<(TrackKey, Option<SymId>)>,
+    /// Function addresses pinned to alias sets along the current path
+    /// (the §7 function-pointer extension; populated by `FuncAddr`).
+    fptrs: HashMap<TrackKey, FuncId>,
+    fptr_journal: Vec<(TrackKey, Option<FuncId>)>,
+    next_sym: u32,
+    trace: Vec<Constraint>,
+
+    frames: Vec<Frame>,
+    call_stack: Vec<FuncId>,
+
+    root: FuncId,
+    exhausted: bool,
+    pending: Vec<PendingBug>,
+    seen: HashMap<(crate::checkers::BugKind, InstId, InstId), u8>,
+    candidates: Vec<PossibleBug>,
+    /// Counters for this root (merged by the driver).
+    pub stats: AnalysisStats,
+}
+
+/// The output of exploring one root.
+pub struct ExploreResult {
+    /// Candidate bugs (already path-locally deduplicated).
+    pub candidates: Vec<PossibleBug>,
+    /// This root's statistics.
+    pub stats: AnalysisStats,
+}
+
+impl<'a> Explorer<'a> {
+    /// Creates an explorer for `root`.
+    pub fn new(
+        module: &'a Module,
+        config: &'a AnalysisConfig,
+        checkers: &'a [Box<dyn Checker>],
+        root: FuncId,
+    ) -> Self {
+        Explorer {
+            module,
+            config,
+            checkers,
+            graph: AliasGraph::new(),
+            states: StateTable::new(),
+            cond_defs: HashMap::new(),
+            cond_journal: Vec::new(),
+            syms: HashMap::new(),
+            sym_journal: Vec::new(),
+            fptrs: HashMap::new(),
+            fptr_journal: Vec::new(),
+            next_sym: 0,
+            trace: Vec::new(),
+            frames: Vec::new(),
+            call_stack: Vec::new(),
+            root,
+            exhausted: false,
+            pending: Vec::new(),
+            seen: HashMap::new(),
+            candidates: Vec::new(),
+            stats: AnalysisStats::default(),
+        }
+    }
+
+    /// Runs the exploration and returns candidates plus statistics.
+    pub fn explore(mut self) -> ExploreResult {
+        self.frames.push(Frame::new(self.root));
+        self.call_stack.push(self.root);
+        let entry = self.module.function(self.root).entry();
+        let mut conts = Vec::new();
+        self.exec_block(self.root, entry, &mut conts);
+        if self.exhausted {
+            self.stats.budget_exhausted_roots += 1;
+        }
+        self.stats.roots += 1;
+        ExploreResult { candidates: self.candidates, stats: self.stats }
+    }
+
+    // ==============================================================
+    // Marks & rollback across all journals
+    // ==============================================================
+
+    fn full_mark(&self) -> FullMark {
+        FullMark {
+            graph: self.graph.mark(),
+            states: self.states.mark(),
+            conds: self.cond_journal.len(),
+            syms: self.sym_journal.len(),
+            fptrs: self.fptr_journal.len(),
+            trace: self.trace.len(),
+            heap_lens: self.frames.iter().map(|f| f.heap_objects.len()).collect(),
+        }
+    }
+
+    fn full_rollback(&mut self, mark: &FullMark) {
+        self.graph.rollback(mark.graph);
+        self.states.rollback(mark.states);
+        while self.cond_journal.len() > mark.conds {
+            let (v, old) = self.cond_journal.pop().unwrap();
+            match old {
+                Some(p) => {
+                    self.cond_defs.insert(v, p);
+                }
+                None => {
+                    self.cond_defs.remove(&v);
+                }
+            }
+        }
+        while self.sym_journal.len() > mark.syms {
+            let (k, old) = self.sym_journal.pop().unwrap();
+            match old {
+                Some(s) => {
+                    self.syms.insert(k, s);
+                }
+                None => {
+                    self.syms.remove(&k);
+                }
+            }
+        }
+        while self.fptr_journal.len() > mark.fptrs {
+            let (k, old) = self.fptr_journal.pop().unwrap();
+            match old {
+                Some(f) => {
+                    self.fptrs.insert(k, f);
+                }
+                None => {
+                    self.fptrs.remove(&k);
+                }
+            }
+        }
+        self.trace.truncate(mark.trace);
+        for (frame, &len) in self.frames.iter_mut().zip(&mark.heap_lens) {
+            frame.heap_objects.truncate(len);
+        }
+    }
+
+    // ==============================================================
+    // Keys, symbols, terms
+    // ==============================================================
+
+    fn key_of(&mut self, v: VarId) -> TrackKey {
+        match self.config.alias_mode {
+            AliasMode::PathBased => TrackKey::Node(self.graph.node_of(v)),
+            AliasMode::None => TrackKey::Var(v),
+        }
+    }
+
+    fn sym_for(&mut self, key: TrackKey) -> SymId {
+        if let Some(&s) = self.syms.get(&key) {
+            return s;
+        }
+        let s = SymId(self.next_sym);
+        self.next_sym += 1;
+        let old = self.syms.insert(key, s);
+        self.sym_journal.push((key, old));
+        s
+    }
+
+    /// Gives `key` a fresh symbol (used on variable redefinition in PATA-NA
+    /// mode, where keys are variables and must be versioned explicitly; in
+    /// alias mode fresh nodes provide versioning for free).
+    fn fresh_sym_for(&mut self, key: TrackKey) -> SymId {
+        let s = SymId(self.next_sym);
+        self.next_sym += 1;
+        let old = self.syms.insert(key, s);
+        self.sym_journal.push((key, old));
+        s
+    }
+
+    fn operand_term(&mut self, op: Operand) -> Term {
+        match op {
+            Operand::Const(c) => Term::int(c.as_int()),
+            Operand::Var(v) => {
+                let key = self.key_of(v);
+                Term::sym(self.sym_for(key))
+            }
+        }
+    }
+
+    fn push_constraint(&mut self, c: Constraint) {
+        self.stats.constraints_aware += 1;
+        self.stats.constraints_unaware += 1;
+        self.trace.push(c);
+    }
+
+    /// Counts what an alias-unaware encoding would have emitted for an
+    /// aliasing operation on `v`: one explicit copy equality plus one
+    /// implicit equality per (transitively reachable, depth-2) struct
+    /// field (paper Fig. 9: `R'(p1)==R'(p2) → R'(p1->f)==R'(p2->f)`).
+    fn count_unaware_alias_op(&mut self, v: VarId) {
+        let mut fields = 0u64;
+        if let Some(sid) = self.module.var(v).ty.struct_id() {
+            let def = self.module.struct_def(sid);
+            fields += def.field_count() as u64;
+            for (_, fty) in &def.fields {
+                if let Some(inner) = fty.struct_id() {
+                    fields += self.module.struct_def(inner).field_count() as u64;
+                }
+            }
+        }
+        self.stats.constraints_unaware += 1 + fields;
+    }
+
+    /// Counts the per-variable state synchronizations an alias-unaware
+    /// tracker would perform when `dst` joins a node carrying states
+    /// (paper Fig. 8a's explicit "sync" transitions).
+    fn count_unaware_sync(&mut self, key: TrackKey) {
+        for c in self.checkers {
+            if self.states.get(c.kind().id(), key).is_some() {
+                self.stats.typestates_unaware += 1;
+            }
+        }
+    }
+
+    // ==============================================================
+    // Checker dispatch
+    // ==============================================================
+
+    fn run_checkers_inst(
+        &mut self,
+        kind: &InstKind,
+        info: &crate::typestate::UpdateInfo,
+        loc: Loc,
+        inst_id: InstId,
+    ) {
+        let graph = &self.graph;
+        let set_size = |k: TrackKey| match k {
+            TrackKey::Node(n) => graph.alias_set_size(n),
+            TrackKey::Var(_) => 1,
+        };
+        let mut cx = TrackCtx {
+            states: &mut self.states,
+            mode: self.config.alias_mode,
+            bugs: &mut self.pending,
+            stats: &mut self.stats,
+            set_size: &set_size,
+            loc,
+            inst_id,
+        };
+        for c in self.checkers {
+            c.on_inst(&mut cx, kind, info);
+        }
+        self.flush_pending();
+    }
+
+    fn run_checkers_branch(&mut self, ev: &BranchEvent) {
+        let graph = &self.graph;
+        let set_size = |k: TrackKey| match k {
+            TrackKey::Node(n) => graph.alias_set_size(n),
+            TrackKey::Var(_) => 1,
+        };
+        let mut cx = TrackCtx {
+            states: &mut self.states,
+            mode: self.config.alias_mode,
+            bugs: &mut self.pending,
+            stats: &mut self.stats,
+            set_size: &set_size,
+            loc: ev.loc,
+            inst_id: ev.inst_id,
+        };
+        for c in self.checkers {
+            c.on_branch(&mut cx, ev);
+        }
+        self.flush_pending();
+    }
+
+    fn run_checkers_frame_end(&mut self, ev: &FrameEndEvent<'_>) {
+        let graph = &self.graph;
+        let set_size = |k: TrackKey| match k {
+            TrackKey::Node(n) => graph.alias_set_size(n),
+            TrackKey::Var(_) => 1,
+        };
+        let mut cx = TrackCtx {
+            states: &mut self.states,
+            mode: self.config.alias_mode,
+            bugs: &mut self.pending,
+            stats: &mut self.stats,
+            set_size: &set_size,
+            loc: ev.loc,
+            inst_id: ev.inst_id,
+        };
+        for c in self.checkers {
+            c.on_frame_end(&mut cx, ev);
+        }
+        self.flush_pending();
+    }
+
+    /// How many distinct path snapshots are kept per problematic
+    /// instruction pair: one would lose a real bug whose first discovered
+    /// path happens to be infeasible (the validator then sees only the
+    /// unsatisfiable snapshot), while unbounded snapshots explode on loopy
+    /// code. Stage 2 reports the bug if *any* kept path validates.
+    const MAX_PATHS_PER_BUG: u8 = 4;
+
+    /// Converts pending checker reports into candidates, deduplicating by
+    /// problematic-instruction pair (§4 P3) *before* cloning the trace.
+    fn flush_pending(&mut self) {
+        while let Some(pb) = self.pending.pop() {
+            let key = (pb.kind, pb.origin_id, pb.site_id);
+            let count = self.seen.entry(key).or_insert(0);
+            if *count >= Self::MAX_PATHS_PER_BUG {
+                self.stats.repeated_bugs_dropped += 1;
+                continue;
+            }
+            *count += 1;
+            self.stats.candidates += 1;
+            let alias_paths = self.render_alias_paths(pb.key);
+            self.candidates
+                .push(pb.into_possible(self.trace.clone(), alias_paths, self.root));
+        }
+    }
+
+    /// Renders up to four access paths of the offending alias set in the
+    /// paper's `func:var` notation (Fig. 7) for the human-readable report.
+    fn render_alias_paths(&self, key: Option<TrackKey>) -> Vec<String> {
+        const MAX_PATHS: usize = 4;
+        let module = self.module;
+        let name_of = |v: VarId| {
+            let info = module.var(v);
+            match info.func {
+                Some(f) => format!("{}:{}", module.function(f).name(), info.name),
+                None => info.name.clone(),
+            }
+        };
+        match key {
+            Some(TrackKey::Node(n)) => self
+                .graph
+                .access_paths(n, 1)
+                .into_iter()
+                .filter(|ap| {
+                    // Skip compiler temporaries; they mean nothing to users.
+                    module.var(ap.base).kind != pata_ir::VarKind::Temp
+                })
+                .take(MAX_PATHS)
+                .map(|ap| ap.render(&name_of, &module.interner))
+                .collect(),
+            Some(TrackKey::Var(v)) => vec![name_of(v)],
+            None => Vec::new(),
+        }
+    }
+
+    /// Clears states for a redefined variable in PATA-NA mode.
+    fn na_clear_def(&mut self, dst: VarId) {
+        if self.config.alias_mode != AliasMode::None {
+            return;
+        }
+        for c in self.checkers {
+            self.states.clear(c.kind().id(), TrackKey::Var(dst));
+        }
+        self.fresh_sym_for(TrackKey::Var(dst));
+    }
+
+    // ==============================================================
+    // Execution
+    // ==============================================================
+
+    fn budget_ok(&mut self) -> bool {
+        if self.exhausted {
+            return false;
+        }
+        let b = &self.config.budget;
+        if self.stats.insts_processed >= b.max_insts as u64
+            || self.stats.paths_explored >= b.max_paths as u64
+        {
+            self.exhausted = true;
+            return false;
+        }
+        true
+    }
+
+    fn path_end(&mut self) {
+        self.stats.paths_explored += 1;
+    }
+
+    /// Whether the loop cut still allows entering `block` in this frame.
+    fn may_enter(&self, block: BlockId) -> bool {
+        let limit = self.config.budget.loop_iterations as u32 + 1;
+        let frame = self.frames.last().expect("frame");
+        frame.visited.get(&block).copied().unwrap_or(0) < limit
+    }
+
+    fn exec_block(&mut self, func: FuncId, block: BlockId, conts: &mut Vec<Cont>) {
+        if !self.budget_ok() {
+            return;
+        }
+        let frame = self.frames.last_mut().expect("frame");
+        debug_assert_eq!(frame.func, func);
+        *frame.visited.entry(block).or_insert(0) += 1;
+        self.exec_from(func, block, 0, conts);
+        let frame = self.frames.last_mut().expect("frame");
+        if let Some(count) = frame.visited.get_mut(&block) {
+            *count -= 1;
+            if *count == 0 {
+                frame.visited.remove(&block);
+            }
+        }
+    }
+
+    fn exec_from(&mut self, func: FuncId, block: BlockId, start: usize, conts: &mut Vec<Cont>) {
+        let f = self.module.function(func);
+        let b = f.block(block);
+        for i in start..b.insts.len() {
+            if !self.budget_ok() {
+                return;
+            }
+            self.stats.insts_processed += 1;
+            let inst = &b.insts[i];
+            let inst_id = InstId { func, block, inst: i };
+            match self.apply_inst(func, inst_id, inst, conts) {
+                Flow::Continue => {}
+                Flow::EnteredCall => return, // rest ran via continuation
+            }
+        }
+        self.stats.insts_processed += 1;
+        self.exec_terminator(func, block, conts);
+    }
+
+    fn exec_terminator(&mut self, func: FuncId, block: BlockId, conts: &mut Vec<Cont>) {
+        let f = self.module.function(func);
+        let b = f.block(block);
+        let term_id = InstId { func, block, inst: b.insts.len() };
+        let term_loc = b.term_loc;
+        match b.term.clone() {
+            Terminator::Jump(target) => {
+                if !self.may_enter(target) {
+                    // Loop cut reached: the path ends here (§3.1).
+                    self.path_end();
+                } else {
+                    self.exec_block(func, target, conts);
+                }
+            }
+            Terminator::Branch { cond, then_bb, else_bb } => {
+                let pred = self.cond_defs.get(&cond).copied();
+                let mut any = false;
+                for (succ, taken) in [(then_bb, true), (else_bb, false)] {
+                    if !self.may_enter(succ) {
+                        continue;
+                    }
+                    // Constant-foldable branches prune trivially dead edges.
+                    if let Some(p) = pred {
+                        if let (Operand::Const(l), Operand::Const(r)) = (p.lhs, p.rhs) {
+                            let holds = p.op.eval(l.as_int(), r.as_int());
+                            if holds != taken {
+                                continue;
+                            }
+                        }
+                    }
+                    any = true;
+                    let mark = self.full_mark();
+                    if let Some(p) = pred {
+                        self.assert_branch(p, taken, term_loc, term_id);
+                    }
+                    if !self.exhausted {
+                        self.exec_block(func, succ, conts);
+                    }
+                    self.full_rollback(&mark);
+                }
+                if !any {
+                    self.path_end();
+                }
+            }
+            Terminator::Ret(value) => {
+                self.handle_ret(value, term_loc, term_id, conts);
+            }
+            Terminator::Unreachable => {
+                self.path_end();
+            }
+        }
+    }
+
+    fn assert_branch(&mut self, p: PredDef, taken: bool, loc: Loc, inst_id: InstId) {
+        // Normalize the variable (if any) to the lhs.
+        let (mut op, mut lhs, mut rhs) = (p.op, p.lhs, p.rhs);
+        if lhs.as_var().is_none() && rhs.as_var().is_some() {
+            std::mem::swap(&mut lhs, &mut rhs);
+            op = op.swap();
+        }
+        let eff_op = if taken { op } else { op.negate() };
+
+        // Table 3: brt(e) / brf(e) constraints.
+        let lt = self.operand_term(lhs);
+        let rt = self.operand_term(rhs);
+        let smt_op = to_smt_op(eff_op);
+        self.push_constraint(Constraint::new(smt_op, lt, rt));
+
+        // Checker branch events.
+        let lhs_is_pointer = match lhs {
+            Operand::Var(v) => self.module.var(v).ty.is_pointer(),
+            Operand::Const(_) => false,
+        };
+        let lhs_key = match lhs {
+            Operand::Var(v) => OperandKey::Var(v, self.key_of(v)),
+            Operand::Const(c) => OperandKey::Const(c.as_int()),
+        };
+        let rhs_key = match rhs {
+            Operand::Var(v) => OperandKey::Var(v, self.key_of(v)),
+            Operand::Const(c) => OperandKey::Const(c.as_int()),
+        };
+        let ev = BranchEvent { op: eff_op, lhs: lhs_key, rhs: rhs_key, lhs_is_pointer, loc, inst_id };
+        self.run_checkers_branch(&ev);
+    }
+
+    fn handle_ret(
+        &mut self,
+        value: Option<Operand>,
+        loc: Loc,
+        inst_id: InstId,
+        conts: &mut Vec<Cont>,
+    ) {
+        // Frame-end events (memory-leak finalization).
+        let ret_val_key = match value {
+            Some(Operand::Var(v)) => Some(self.key_of(v)),
+            _ => None,
+        };
+        let frame_objects = std::mem::take(&mut self.frames.last_mut().unwrap().heap_objects);
+        {
+            let ev = FrameEndEvent {
+                heap_objects: &frame_objects,
+                ret_val_key,
+                loc,
+                inst_id,
+            };
+            self.run_checkers_frame_end(&ev);
+        }
+        self.frames.last_mut().unwrap().heap_objects = frame_objects;
+
+        // UVA `use` of the returned value.
+        if let Some(Operand::Var(v)) = value {
+            let key = self.key_of(v);
+            let info = crate::typestate::UpdateInfo {
+                use_keys: vec![(v, key)],
+                ..Default::default()
+            };
+            // Reuse the Move shape so checkers treat it as a plain use.
+            let kind = InstKind::Move { dst: v, src: v };
+            self.run_checkers_inst(&kind, &info, loc, inst_id);
+        }
+
+        if conts.is_empty() {
+            // Root return: the path is complete.
+            self.path_end();
+            return;
+        }
+
+        // Return into the caller's continuation.
+        let cont = conts.pop().unwrap();
+        let frame = self.frames.pop().unwrap();
+        let callee = self.call_stack.pop().unwrap();
+
+        if let Some(dst) = cont.dst {
+            self.bind_value(dst, value, loc, inst_id);
+            // Re-own heap objects transferred by `return p` (ML RETURNED →
+            // SNF in the caller's frame).
+            let dst_key = self.key_of(dst);
+            let ml_id = crate::checkers::BugKind::MemoryLeak.id();
+            if let Some(entry) = self.states.get(ml_id, dst_key) {
+                if entry.state == ml::S_RETURNED {
+                    let graph = &self.graph;
+                    let set_size = |k: TrackKey| match k {
+                        TrackKey::Node(n) => graph.alias_set_size(n),
+                        TrackKey::Var(_) => 1,
+                    };
+                    let mut cx = TrackCtx {
+                        states: &mut self.states,
+                        mode: self.config.alias_mode,
+                        bugs: &mut self.pending,
+                        stats: &mut self.stats,
+                        set_size: &set_size,
+                        loc,
+                        inst_id,
+                    };
+                    cx.transition(ml_id, dst_key, ml::S_NF, Some(entry));
+                    drop(cx);
+                    self.frames.last_mut().unwrap().heap_objects.push(HeapObject {
+                        key: dst_key,
+                        loc: entry.origin_loc,
+                        inst_id: entry.origin_id,
+                    });
+                }
+            }
+        }
+
+        self.exec_from(cont.func, cont.block, cont.next_inst, conts);
+
+        // Restore structural stacks for sibling paths in the callee.
+        self.call_stack.push(callee);
+        self.frames.push(frame);
+        conts.push(cont);
+    }
+
+    /// Binds `value` into `dst` as the paper's return-MOVE (Fig. 6 line 20).
+    fn bind_value(&mut self, dst: VarId, value: Option<Operand>, loc: Loc, inst_id: InstId) {
+        match value {
+            Some(Operand::Var(src)) => {
+                self.na_clear_def(dst);
+                let info = match self.config.alias_mode {
+                    AliasMode::PathBased => {
+                        let n = self.graph.handle_move(dst, src);
+                        self.count_unaware_alias_op(src);
+                        self.count_unaware_sync(nkey(n));
+                        crate::typestate::UpdateInfo {
+                            dst_key: Some(nkey(n)),
+                            move_pair: Some((nkey(n), nkey(n))),
+                            ..Default::default()
+                        }
+                    }
+                    AliasMode::None => {
+                        let dk = TrackKey::Var(dst);
+                        let sk = TrackKey::Var(src);
+                        let d = self.sym_for(dk);
+                        let s = self.sym_for(sk);
+                        self.push_constraint(Constraint::new(
+                            SmtOp::Eq,
+                            Term::sym(d),
+                            Term::sym(s),
+                        ));
+                        crate::typestate::UpdateInfo {
+                            dst_key: Some(dk),
+                            move_pair: Some((dk, sk)),
+                            ..Default::default()
+                        }
+                    }
+                };
+                let kind = InstKind::Move { dst, src };
+                self.run_checkers_inst(&kind, &info, loc, inst_id);
+            }
+            Some(Operand::Const(c)) => {
+                self.na_clear_def(dst);
+                let key = match self.config.alias_mode {
+                    AliasMode::PathBased => nkey(self.graph.handle_const(dst)),
+                    AliasMode::None => TrackKey::Var(dst),
+                };
+                let s = self.sym_for(key);
+                self.push_constraint(Constraint::new(
+                    SmtOp::Eq,
+                    Term::sym(s),
+                    Term::int(c.as_int()),
+                ));
+                let kind = InstKind::Const { dst, value: c };
+                let info = crate::typestate::UpdateInfo {
+                    dst_key: Some(key),
+                    ..Default::default()
+                };
+                self.run_checkers_inst(&kind, &info, loc, inst_id);
+            }
+            None => {
+                // void return into a destination: havoc.
+                self.na_clear_def(dst);
+                if self.config.alias_mode == AliasMode::PathBased {
+                    self.graph.handle_const(dst);
+                }
+            }
+        }
+    }
+
+    // ==============================================================
+    // Instructions
+    // ==============================================================
+
+    fn apply_inst(
+        &mut self,
+        func: FuncId,
+        inst_id: InstId,
+        inst: &Inst,
+        conts: &mut Vec<Cont>,
+    ) -> Flow {
+        use crate::typestate::UpdateInfo;
+        let loc = inst.loc;
+        let alias = self.config.alias_mode == AliasMode::PathBased;
+        let mut info = UpdateInfo::default();
+        match &inst.kind {
+            InstKind::Move { dst, src } => {
+                info.use_keys.push((*src, self.key_of(*src)));
+                self.na_clear_def(*dst);
+                if alias {
+                    let n = self.graph.handle_move(*dst, *src);
+                    self.count_unaware_alias_op(*src);
+                    self.count_unaware_sync(nkey(n));
+                    info.dst_key = Some(nkey(n));
+                    info.move_pair = Some((nkey(n), nkey(n)));
+                } else {
+                    let dk = TrackKey::Var(*dst);
+                    let sk = TrackKey::Var(*src);
+                    let d = self.sym_for(dk);
+                    let s = self.sym_for(sk);
+                    self.push_constraint(Constraint::new(SmtOp::Eq, Term::sym(d), Term::sym(s)));
+                    info.dst_key = Some(dk);
+                    info.move_pair = Some((dk, sk));
+                }
+            }
+            InstKind::Const { dst, value } => {
+                self.na_clear_def(*dst);
+                let key = if alias {
+                    nkey(self.graph.handle_const(*dst))
+                } else {
+                    TrackKey::Var(*dst)
+                };
+                let s = self.sym_for(key);
+                self.push_constraint(Constraint::new(
+                    SmtOp::Eq,
+                    Term::sym(s),
+                    Term::int(value.as_int()),
+                ));
+                info.dst_key = Some(key);
+            }
+            InstKind::Load { dst, addr } => {
+                info.use_keys.push((*addr, self.key_of(*addr)));
+                info.deref_key = Some(self.key_of(*addr));
+                self.na_clear_def(*dst);
+                if alias {
+                    let n = self.graph.handle_load(*dst, *addr);
+                    self.count_unaware_alias_op(*dst);
+                    self.count_unaware_sync(nkey(n));
+                    info.dst_key = Some(nkey(n));
+                } else {
+                    info.dst_key = Some(TrackKey::Var(*dst));
+                }
+            }
+            InstKind::Store { addr, val } => {
+                info.use_keys.push((*addr, self.key_of(*addr)));
+                info.deref_key = Some(self.key_of(*addr));
+                if let Operand::Var(v) = val {
+                    info.use_keys.push((*v, self.key_of(*v)));
+                }
+                if alias {
+                    match val {
+                        Operand::Var(v) => {
+                            // A stored function pointer keeps its binding:
+                            // the value's node IS the new deref target, so
+                            // the fptr map needs no update in alias mode.
+                            let si = self.graph.handle_store(*addr, *v);
+                            self.count_unaware_alias_op(*v);
+                            info.stored_val_key = Some(nkey(si.new_target));
+                            info.store_old_target = si.old_target.map(|n| nkey(n));
+                        }
+                        Operand::Const(c) => {
+                            let si = self.graph.handle_store_const(*addr);
+                            let key = nkey(si.new_target);
+                            let s = self.sym_for(key);
+                            self.push_constraint(Constraint::new(
+                                SmtOp::Eq,
+                                Term::sym(s),
+                                Term::int(c.as_int()),
+                            ));
+                            info.stored_const = Some((key, *c));
+                            info.store_old_target = si.old_target.map(|n| nkey(n));
+                        }
+                    }
+                }
+            }
+            InstKind::Gep { dst, base, field } => {
+                info.use_keys.push((*base, self.key_of(*base)));
+                info.deref_key = Some(self.key_of(*base));
+                self.na_clear_def(*dst);
+                if alias {
+                    let n = self.graph.handle_gep(*dst, *base, *field);
+                    self.count_unaware_alias_op(*dst);
+                    self.count_unaware_sync(nkey(n));
+                    info.dst_key = Some(nkey(n));
+                } else {
+                    info.dst_key = Some(TrackKey::Var(*dst));
+                }
+            }
+            InstKind::AddrOf { dst, src } => {
+                self.na_clear_def(*dst);
+                if alias {
+                    let n = self.graph.handle_addr_of(*dst, *src);
+                    self.count_unaware_alias_op(*dst);
+                    info.dst_key = Some(nkey(n));
+                } else {
+                    info.dst_key = Some(TrackKey::Var(*dst));
+                }
+            }
+            InstKind::Index { dst, base, index } => {
+                info.use_keys.push((*base, self.key_of(*base)));
+                info.deref_key = Some(self.key_of(*base));
+                if let Operand::Var(v) = index {
+                    info.use_keys.push((*v, self.key_of(*v)));
+                    info.index_key = Some(self.key_of(*v));
+                }
+                info.index_const = index.as_const().map(|c| c.as_int());
+                self.na_clear_def(*dst);
+                if alias {
+                    // Element access paths are keyed by the index operand
+                    // (paper §5.2: array-insensitive access paths).
+                    let label = match index {
+                        Operand::Const(c) => Label::ElemConst(c.as_int()),
+                        Operand::Var(v) => Label::ElemVar(v.index() as u32),
+                    };
+                    let n = self.graph.handle_index(*dst, *base, label);
+                    self.count_unaware_alias_op(*dst);
+                    info.dst_key = Some(nkey(n));
+                } else {
+                    info.dst_key = Some(TrackKey::Var(*dst));
+                }
+            }
+            InstKind::Bin { dst, op, lhs, rhs } => {
+                for o in [lhs, rhs] {
+                    if let Operand::Var(v) = o {
+                        info.use_keys.push((*v, self.key_of(*v)));
+                    }
+                }
+                if op.traps_on_zero() {
+                    if let Operand::Var(v) = rhs {
+                        info.divisor_key = Some(self.key_of(*v));
+                    }
+                    info.divisor_const = rhs.as_const().map(|c| c.as_int());
+                }
+                let lt = self.operand_term(*lhs);
+                let rt = self.operand_term(*rhs);
+                self.na_clear_def(*dst);
+                let key = if alias {
+                    nkey(self.graph.handle_const(*dst))
+                } else {
+                    TrackKey::Var(*dst)
+                };
+                let s = self.sym_for(key);
+                let rhs_term = bin_term(*op, lt, rt);
+                self.push_constraint(Constraint::new(SmtOp::Eq, Term::sym(s), rhs_term));
+                info.dst_key = Some(key);
+            }
+            InstKind::Cmp { dst, op, lhs, rhs } => {
+                for o in [lhs, rhs] {
+                    if let Operand::Var(v) = o {
+                        info.use_keys.push((*v, self.key_of(*v)));
+                    }
+                }
+                // Remember the predicate for the branch that consumes dst.
+                let old = self.cond_defs.insert(*dst, PredDef { op: *op, lhs: *lhs, rhs: *rhs });
+                self.cond_journal.push((*dst, old));
+                self.na_clear_def(*dst);
+                if alias {
+                    let n = self.graph.handle_const(*dst);
+                    info.dst_key = Some(nkey(n));
+                } else {
+                    info.dst_key = Some(TrackKey::Var(*dst));
+                }
+            }
+            InstKind::Call { dst, callee, args } => {
+                return self.apply_call(func, inst_id, loc, *dst, *callee, args, conts);
+            }
+            InstKind::FuncAddr { dst, func: target } => {
+                self.na_clear_def(*dst);
+                let key = if alias {
+                    nkey(self.graph.handle_const(*dst))
+                } else {
+                    TrackKey::Var(*dst)
+                };
+                let old = self.fptrs.insert(key, *target);
+                self.fptr_journal.push((key, old));
+                info.dst_key = Some(key);
+            }
+            InstKind::Alloca { dst, .. } => {
+                self.na_clear_def(*dst);
+                let key = if alias {
+                    nkey(self.graph.handle_const(*dst))
+                } else {
+                    TrackKey::Var(*dst)
+                };
+                info.dst_key = Some(key);
+            }
+            InstKind::Malloc { dst } => {
+                self.na_clear_def(*dst);
+                let key = if alias {
+                    nkey(self.graph.handle_const(*dst))
+                } else {
+                    TrackKey::Var(*dst)
+                };
+                info.dst_key = Some(key);
+                self.frames
+                    .last_mut()
+                    .unwrap()
+                    .heap_objects
+                    .push(HeapObject { key, loc, inst_id });
+            }
+            InstKind::Free { ptr } => {
+                info.use_keys.push((*ptr, self.key_of(*ptr)));
+                info.free_key = Some(self.key_of(*ptr));
+            }
+            InstKind::Memset { ptr } => {
+                info.use_keys.push((*ptr, self.key_of(*ptr)));
+                info.deref_key = Some(self.key_of(*ptr));
+            }
+            InstKind::Lock { obj } | InstKind::Unlock { obj } => {
+                info.use_keys.push((*obj, self.key_of(*obj)));
+                info.lock_key = Some(self.key_of(*obj));
+            }
+        }
+        self.run_checkers_inst(&inst.kind, &info, loc, inst_id);
+        Flow::Continue
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn apply_call(
+        &mut self,
+        func: FuncId,
+        inst_id: InstId,
+        loc: Loc,
+        dst: Option<VarId>,
+        callee: Callee,
+        args: &[Operand],
+        conts: &mut Vec<Cont>,
+    ) -> Flow {
+        use crate::typestate::UpdateInfo;
+        let mut info = UpdateInfo::default();
+        for a in args {
+            if let Operand::Var(v) = a {
+                info.use_keys.push((*v, self.key_of(*v)));
+            }
+        }
+
+        // §7 extension: an indirect call whose function pointer's alias set
+        // is pinned to a FuncAddr along this path resolves like a direct
+        // call (e.g. `d->ops = my_handler; … d->ops(d);`).
+        let effective = match callee {
+            Callee::Indirect(v) if self.config.resolve_fptrs => {
+                let key = self.key_of(v);
+                match self.fptrs.get(&key) {
+                    Some(&f) => Callee::Direct(f),
+                    None => callee,
+                }
+            }
+            other => other,
+        };
+        let inline_target = match effective {
+            Callee::Direct(f)
+                if !self.call_stack.contains(&f)
+                    && self.call_stack.len() < self.config.budget.max_call_depth =>
+            {
+                Some(f)
+            }
+            _ => None,
+        };
+
+        if inline_target.is_none() {
+            // Opaque call (external, indirect, recursion cut, depth cap):
+            // pointer arguments escape; the result is havoced.
+            for a in args {
+                if let Operand::Var(v) = a {
+                    if self.module.var(*v).ty.is_pointer() {
+                        info.escape_keys.push(self.key_of(*v));
+                    }
+                }
+            }
+            if let Some(d) = dst {
+                self.na_clear_def(d);
+                let key = if self.config.alias_mode == AliasMode::PathBased {
+                    nkey(self.graph.handle_const(d))
+                } else {
+                    TrackKey::Var(d)
+                };
+                info.dst_key = Some(key);
+            }
+            let kind = InstKind::Call { dst, callee, args: args.to_vec() };
+            self.run_checkers_inst(&kind, &info, loc, inst_id);
+            return Flow::Continue;
+        }
+
+        let f = inline_target.unwrap();
+        // Report uses (e.g. passing an uninitialized value) before binding.
+        let kind = InstKind::Call { dst, callee, args: args.to_vec() };
+        self.run_checkers_inst(&kind, &info, loc, inst_id);
+
+        // HandleCALL (Fig. 6): parameter passing is a sequence of MOVEs.
+        let params: Vec<VarId> = self.module.function(f).params().to_vec();
+        for (i, &param) in params.iter().enumerate() {
+            let arg = args.get(i).copied().unwrap_or(Operand::Const(ConstVal::Int(0)));
+            self.bind_value(param, Some(arg), loc, inst_id);
+        }
+
+        conts.push(Cont { func, block: inst_id.block, next_inst: inst_id.inst + 1, dst });
+        self.call_stack.push(f);
+        self.frames.push(Frame::new(f));
+        let entry = self.module.function(f).entry();
+        self.exec_block(f, entry, conts);
+        self.frames.pop();
+        self.call_stack.pop();
+        conts.pop();
+        Flow::EnteredCall
+    }
+}
+
+enum Flow {
+    Continue,
+    EnteredCall,
+}
+
+fn nkey(n: NodeId) -> TrackKey {
+    TrackKey::Node(n)
+}
+
+fn to_smt_op(op: CmpOp) -> SmtOp {
+    match op {
+        CmpOp::Eq => SmtOp::Eq,
+        CmpOp::Ne => SmtOp::Ne,
+        CmpOp::Lt => SmtOp::Lt,
+        CmpOp::Le => SmtOp::Le,
+        CmpOp::Gt => SmtOp::Gt,
+        CmpOp::Ge => SmtOp::Ge,
+    }
+}
+
+fn bin_term(op: pata_ir::BinOp, lhs: Term, rhs: Term) -> Term {
+    use pata_ir::BinOp as B;
+    use pata_smt::OpaqueOp as O;
+    match op {
+        B::Add => lhs.add(rhs),
+        B::Sub => lhs.sub(rhs),
+        B::Mul => lhs.mul(rhs),
+        B::Div => Term::opaque(O::Div, lhs, rhs),
+        B::Rem => Term::opaque(O::Rem, lhs, rhs),
+        B::And => Term::opaque(O::And, lhs, rhs),
+        B::Or => Term::opaque(O::Or, lhs, rhs),
+        B::Xor => Term::opaque(O::Xor, lhs, rhs),
+        B::Shl => Term::opaque(O::Shl, lhs, rhs),
+        B::Shr => Term::opaque(O::Shr, lhs, rhs),
+    }
+}

@@ -1,0 +1,139 @@
+//! Bug candidates and final reports.
+
+use crate::checkers::BugKind;
+use pata_ir::{Category, FuncId, InstId, Loc, Module};
+use std::fmt;
+
+/// A possible bug produced by stage 1 (typestate tracking without path
+/// validation, §3.2). Stage 2 deduplicates and validates these.
+#[derive(Debug, Clone)]
+pub struct PossibleBug {
+    /// Bug type.
+    pub kind: BugKind,
+    /// Where the offending state was established (e.g. the null check).
+    pub origin_loc: Loc,
+    /// Establishing instruction (dedup key component).
+    pub origin_id: InstId,
+    /// Where the bug manifests (e.g. the dereference).
+    pub site_loc: Loc,
+    /// Manifesting instruction (dedup key component).
+    pub site_id: InstId,
+    /// The path constraints collected up to the manifestation site
+    /// (Table 3 translation with one symbol per alias set).
+    pub constraints: Vec<pata_smt::Constraint>,
+    /// Additional bug-condition constraints (e.g. `divisor == 0`).
+    pub extra: Vec<pata_smt::Constraint>,
+    /// Access paths of the offending alias set, rendered in the paper's
+    /// `func:var` notation (Fig. 7) — what makes reports "readable".
+    pub alias_paths: Vec<String>,
+    /// The analysis root (module interface function) whose exploration
+    /// found the bug.
+    pub root: FuncId,
+}
+
+impl PossibleBug {
+    /// The deduplication key of §4 P3: two candidates with identical
+    /// problematic instructions are the same bug via different paths.
+    pub fn dedup_key(&self) -> (BugKind, InstId, InstId) {
+        (self.kind, self.origin_id, self.site_id)
+    }
+}
+
+/// A validated, human-readable bug report (the paper's final output).
+#[derive(Debug, Clone)]
+pub struct BugReport {
+    /// Bug type.
+    pub kind: BugKind,
+    /// Source file of the manifestation site.
+    pub file: String,
+    /// Function containing the manifestation site.
+    pub function: String,
+    /// Line where the offending state was established.
+    pub origin_line: u32,
+    /// Line where the bug manifests.
+    pub site_line: u32,
+    /// OS part (drivers / subsystem / third-party …) for Fig. 11.
+    pub category: Category,
+    /// Access paths of the offending alias set (`func:var` notation).
+    pub alias_paths: Vec<String>,
+    /// One-line description.
+    pub message: String,
+}
+
+impl BugReport {
+    /// Builds a report from a validated candidate.
+    pub fn from_possible(bug: &PossibleBug, module: &Module) -> Self {
+        let func = module.function(bug.site_id.func);
+        let file = module.file(func.file()).name.clone();
+        let kind = bug.kind;
+        let alias_note = if bug.alias_paths.is_empty() {
+            String::new()
+        } else {
+            format!(" [alias set: {}]", bug.alias_paths.join(", "))
+        };
+        let message = format!(
+            "{} in `{}`: state established at line {} triggers at line {}{}",
+            kind.describe(),
+            func.name(),
+            bug.origin_loc.line,
+            bug.site_loc.line,
+            alias_note
+        );
+        BugReport {
+            kind,
+            file,
+            function: func.name().to_owned(),
+            origin_line: bug.origin_loc.line,
+            site_line: bug.site_loc.line,
+            category: func.category(),
+            alias_paths: bug.alias_paths.clone(),
+            message,
+        }
+    }
+}
+
+impl fmt::Display for BugReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {}:{} ({}) — {}",
+            self.kind.as_str(),
+            self.file,
+            self.site_line,
+            self.function,
+            self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pata_ir::BlockId;
+
+    fn inst_id(f: usize, i: usize) -> InstId {
+        InstId { func: FuncId::from_index(f), block: BlockId::from_index(0), inst: i }
+    }
+
+    #[test]
+    fn dedup_key_ignores_path() {
+        let a = PossibleBug {
+            kind: BugKind::NullPointerDeref,
+            origin_loc: Loc::default(),
+            origin_id: inst_id(0, 1),
+            site_loc: Loc::default(),
+            site_id: inst_id(0, 5),
+            constraints: vec![],
+            extra: vec![],
+            alias_paths: vec![],
+            root: FuncId::from_index(0),
+        };
+        let mut b = a.clone();
+        b.constraints = vec![pata_smt::Constraint::new(
+            pata_smt::CmpOp::Eq,
+            pata_smt::Term::int(1),
+            pata_smt::Term::int(1),
+        )];
+        assert_eq!(a.dedup_key(), b.dedup_key());
+    }
+}

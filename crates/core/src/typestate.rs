@@ -1,0 +1,449 @@
+//! Alias-aware typestate tracking (paper §3.2).
+//!
+//! A typestate property is an FSM (Definition 2); *all variables in the same
+//! alias set share one state* (Definition 3), which is the paper's key cost
+//! reduction: `Sm : AS → S` is realized here as a state table keyed by
+//! alias-graph node. In the PATA-NA sensitivity mode (Table 6) the key
+//! degrades to the variable itself, reproducing traditional per-variable
+//! typestate tracking.
+
+use crate::alias::NodeId;
+use crate::checkers::BugKind;
+use crate::config::AliasMode;
+use crate::report::PossibleBug;
+use crate::stats::AnalysisStats;
+use pata_ir::{InstId, Loc, VarId};
+use std::collections::HashMap;
+
+/// What a typestate (or SMT symbol) is attached to.
+///
+/// * [`TrackKey::Node`] — an alias set (one abstract object); the paper's
+///   alias-aware mode.
+/// * [`TrackKey::Var`] — a single variable; the PATA-NA baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TrackKey {
+    /// An alias-graph node (alias-aware).
+    Node(NodeId),
+    /// A plain variable (alias-unaware / PATA-NA).
+    Var(VarId),
+}
+
+/// A state value within one checker's FSM. `0` is reserved for the initial
+/// state `S0` and is represented by *absence* from the table.
+pub type StateVal = u8;
+
+/// One tracked state with provenance for bug reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateEntry {
+    /// The checker-specific state value.
+    pub state: StateVal,
+    /// Where the state was established (e.g. the `if (!p)` branch).
+    pub origin_loc: Loc,
+    /// The instruction that established the state.
+    pub origin_id: InstId,
+}
+
+/// Journal-backed state storage shared by all checkers.
+///
+/// Mirrors [`crate::alias::AliasGraph`]'s mark/rollback protocol so the path
+/// explorer can backtrack states and alias information in lockstep.
+#[derive(Debug, Default)]
+pub struct StateTable {
+    map: HashMap<(u8, TrackKey), StateEntry>,
+    journal: Vec<(u8, TrackKey, Option<StateEntry>)>,
+}
+
+/// Rollback point for [`StateTable`].
+#[derive(Debug, Clone, Copy)]
+pub struct StateMark(usize);
+
+impl StateTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current state for `key` under `checker`, if any transition happened.
+    pub fn get(&self, checker: u8, key: TrackKey) -> Option<StateEntry> {
+        self.map.get(&(checker, key)).copied()
+    }
+
+    /// Sets the state, journaling the old value.
+    pub fn set(&mut self, checker: u8, key: TrackKey, entry: StateEntry) {
+        let old = self.map.insert((checker, key), entry);
+        self.journal.push((checker, key, old));
+    }
+
+    /// Clears the state (used when a variable is redefined in PATA-NA mode).
+    pub fn clear(&mut self, checker: u8, key: TrackKey) {
+        if let Some(old) = self.map.remove(&(checker, key)) {
+            self.journal.push((checker, key, Some(old)));
+        }
+    }
+
+    /// Number of live state entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no states are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Snapshots for rollback.
+    pub fn mark(&self) -> StateMark {
+        StateMark(self.journal.len())
+    }
+
+    /// Rolls back to `mark`.
+    pub fn rollback(&mut self, mark: StateMark) {
+        while self.journal.len() > mark.0 {
+            let (checker, key, old) = self.journal.pop().unwrap();
+            match old {
+                Some(entry) => {
+                    self.map.insert((checker, key), entry);
+                }
+                None => {
+                    self.map.remove(&(checker, key));
+                }
+            }
+        }
+    }
+}
+
+/// Introspection data describing a checker's FSM (Definition 2 / Table 2).
+/// Purely documentary — transitions are implemented in checker code, which
+/// is how the paper describes its 100-200-line checkers.
+#[derive(Debug, Clone)]
+pub struct FsmSpec {
+    /// Human-readable state names, indexed by [`StateVal`]; index 0 is `S0`.
+    pub states: Vec<&'static str>,
+    /// The input alphabet Σ.
+    pub events: Vec<&'static str>,
+    /// Name of the accepting/bug state.
+    pub bug_state: &'static str,
+}
+
+/// A resolved operand in a branch predicate.
+#[derive(Debug, Clone, Copy)]
+pub enum OperandKey {
+    /// A variable with its current tracking key.
+    Var(VarId, TrackKey),
+    /// An integer constant (`NULL` is 0).
+    Const(i64),
+}
+
+impl OperandKey {
+    /// The key if this operand is a variable.
+    pub fn key(&self) -> Option<TrackKey> {
+        match self {
+            OperandKey::Var(_, k) => Some(*k),
+            OperandKey::Const(_) => None,
+        }
+    }
+
+    /// The constant if this operand is one.
+    pub fn as_const(&self) -> Option<i64> {
+        match self {
+            OperandKey::Const(c) => Some(*c),
+            OperandKey::Var(..) => None,
+        }
+    }
+}
+
+/// A taken branch with its effective (possibly negated) predicate.
+#[derive(Debug, Clone, Copy)]
+pub struct BranchEvent {
+    /// The comparison that holds along the taken edge.
+    pub op: pata_ir::CmpOp,
+    /// Left operand with tracking key resolved at branch time.
+    pub lhs: OperandKey,
+    /// Right operand.
+    pub rhs: OperandKey,
+    /// Whether the left/right operand has pointer type (for null tests).
+    pub lhs_is_pointer: bool,
+    /// Location of the branch.
+    pub loc: Loc,
+    /// Identity of the branch terminator.
+    pub inst_id: InstId,
+}
+
+/// Alias-resolution results for one instruction, handed to checkers after
+/// the alias graph has been updated.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateInfo {
+    /// Tracking key of the defined variable after the update.
+    pub dst_key: Option<TrackKey>,
+    /// For `MOVE`: `(dst, src)` keys — PATA-NA copies states along these.
+    pub move_pair: Option<(TrackKey, TrackKey)>,
+    /// Key of a dereferenced pointer (`LOAD` addr / `STORE` addr / `GEP`
+    /// base) — the NPD `deref` event target.
+    pub deref_key: Option<TrackKey>,
+    /// For `STORE`: key of the object `*addr` denoted *before* the store
+    /// (the overwritten location — UVA initialization target).
+    pub store_old_target: Option<TrackKey>,
+    /// For `STORE` of a variable: key of the stored value (ML escape).
+    pub stored_val_key: Option<TrackKey>,
+    /// For `STORE` of a constant: key of the fresh constant object `*addr`
+    /// now denotes, with the constant (NPD `ass_null` through memory).
+    pub stored_const: Option<(TrackKey, pata_ir::ConstVal)>,
+    /// Keys of value-read operands (UVA `use` events), with the variables.
+    pub use_keys: Vec<(VarId, TrackKey)>,
+    /// Key of the divisor if this is a division (division-by-zero checker).
+    pub divisor_key: Option<TrackKey>,
+    /// Constant divisor, when the divisor is immediate.
+    pub divisor_const: Option<i64>,
+    /// Key + constant view of an array index (underflow checker).
+    pub index_key: Option<TrackKey>,
+    /// Constant array index, when immediate.
+    pub index_const: Option<i64>,
+    /// Keys of pointer arguments passed to an opaque (external/indirect)
+    /// call — conservative ML escape.
+    pub escape_keys: Vec<TrackKey>,
+    /// Key of the pointer in a `FREE` (no NPD `deref`: `free(NULL)` is ok).
+    pub free_key: Option<TrackKey>,
+    /// Key of the lock object in `LOCK`/`UNLOCK`.
+    pub lock_key: Option<TrackKey>,
+}
+
+/// One heap allocation recorded in a function frame (for end-of-frame leak
+/// detection).
+#[derive(Debug, Clone, Copy)]
+pub struct HeapObject {
+    /// Key the `malloc` event targeted.
+    pub key: TrackKey,
+    /// Allocation site.
+    pub loc: Loc,
+    /// Allocation instruction.
+    pub inst_id: InstId,
+}
+
+/// Data for the frame-return hook (memory-leak finalization).
+#[derive(Debug)]
+pub struct FrameEndEvent<'a> {
+    /// Heap objects allocated in the returning frame.
+    pub heap_objects: &'a [HeapObject],
+    /// Key of the returned value, if the function returns a variable.
+    pub ret_val_key: Option<TrackKey>,
+    /// Location of the `return`.
+    pub loc: Loc,
+    /// Identity of the return terminator.
+    pub inst_id: InstId,
+}
+
+/// Mutable context handed to checkers: state table, bug sink and counters.
+pub struct TrackCtx<'a> {
+    /// Shared state table.
+    pub states: &'a mut StateTable,
+    /// Alias mode (checkers use it for PATA-NA state copying on `MOVE`).
+    pub mode: AliasMode,
+    /// Candidate-bug sink; the explorer attaches path constraints.
+    pub bugs: &'a mut Vec<PendingBug>,
+    /// Statistics counters.
+    pub stats: &'a mut AnalysisStats,
+    /// Size of the alias set behind a key (1 in PATA-NA mode) — used for
+    /// the paper's alias-aware vs. unaware typestate accounting (Table 5).
+    pub set_size: &'a dyn Fn(TrackKey) -> usize,
+    /// Location of the instruction being tracked.
+    pub loc: Loc,
+    /// Identity of the instruction being tracked.
+    pub inst_id: InstId,
+}
+
+impl TrackCtx<'_> {
+    /// Reads the current state for `key` under `checker`.
+    pub fn state(&self, checker: u8, key: TrackKey) -> Option<StateEntry> {
+        self.states.get(checker, key)
+    }
+
+    /// Transitions `key` to `state`, keeping provenance from `origin` if
+    /// given, else using the current instruction. Updates the Table 5
+    /// typestate accounting.
+    pub fn transition(
+        &mut self,
+        checker: u8,
+        key: TrackKey,
+        state: StateVal,
+        origin: Option<StateEntry>,
+    ) {
+        let entry = match origin {
+            Some(o) => StateEntry { state, ..o },
+            None => StateEntry { state, origin_loc: self.loc, origin_id: self.inst_id },
+        };
+        self.stats.typestates_aware += 1;
+        self.stats.typestates_unaware += (self.set_size)(key).max(1) as u64;
+        self.states.set(checker, key, entry);
+    }
+
+    /// Copies the state of `src` onto `dst` — the per-variable state
+    /// synchronization of traditional typestate tracking (paper Fig. 8a),
+    /// used by checkers in PATA-NA mode on `MOVE` instructions.
+    pub fn copy_state(&mut self, checker: u8, dst: TrackKey, src: TrackKey) {
+        match self.states.get(checker, src) {
+            Some(entry) => {
+                self.stats.typestates_aware += 1;
+                self.stats.typestates_unaware += 1;
+                self.states.set(checker, dst, entry);
+            }
+            None => self.states.clear(checker, dst),
+        }
+    }
+
+    /// Emits a candidate bug; the path explorer snapshots constraints and,
+    /// for alias-aware keys, renders the offending alias set for the
+    /// report.
+    pub fn report(
+        &mut self,
+        kind: BugKind,
+        key: TrackKey,
+        origin: StateEntry,
+        extra: Vec<pata_smt::Constraint>,
+    ) {
+        self.bugs.push(PendingBug {
+            kind,
+            key: Some(key),
+            origin_loc: origin.origin_loc,
+            origin_id: origin.origin_id,
+            site_loc: self.loc,
+            site_id: self.inst_id,
+            extra,
+        });
+    }
+
+    /// Emits a candidate bug whose origin is the current instruction.
+    pub fn report_here(&mut self, kind: BugKind, extra: Vec<pata_smt::Constraint>) {
+        self.bugs.push(PendingBug {
+            kind,
+            key: None,
+            origin_loc: self.loc,
+            origin_id: self.inst_id,
+            site_loc: self.loc,
+            site_id: self.inst_id,
+            extra,
+        });
+    }
+}
+
+/// A candidate bug emitted by a checker during one instruction; the
+/// explorer immediately turns it into a [`PossibleBug`] by snapshotting the
+/// live constraint trace.
+#[derive(Debug, Clone)]
+pub struct PendingBug {
+    /// Bug type.
+    pub kind: BugKind,
+    /// The alias set (or variable) the bug is about, for report rendering.
+    pub key: Option<TrackKey>,
+    /// Where the offending state was established.
+    pub origin_loc: Loc,
+    /// Establishing instruction.
+    pub origin_id: InstId,
+    /// Where the bug manifests.
+    pub site_loc: Loc,
+    /// Manifesting instruction.
+    pub site_id: InstId,
+    /// Additional bug-condition constraints (e.g. `divisor == 0`).
+    pub extra: Vec<pata_smt::Constraint>,
+}
+
+impl PendingBug {
+    /// Builds a full possible bug by attaching a constraint snapshot and
+    /// the rendered alias set.
+    pub fn into_possible(
+        self,
+        constraints: Vec<pata_smt::Constraint>,
+        alias_paths: Vec<String>,
+        root: pata_ir::FuncId,
+    ) -> PossibleBug {
+        PossibleBug {
+            kind: self.kind,
+            origin_loc: self.origin_loc,
+            origin_id: self.origin_id,
+            site_loc: self.site_loc,
+            site_id: self.site_id,
+            constraints,
+            extra: self.extra,
+            alias_paths,
+            root,
+        }
+    }
+}
+
+/// A typestate checker: implements one FSM's transitions over instruction,
+/// branch and frame-end events. Each built-in checker is 100-200 lines,
+/// matching the paper's §5.1/§5.5 claims.
+pub trait Checker: Send + Sync {
+    /// The bug type this checker detects.
+    fn kind(&self) -> BugKind;
+
+    /// The FSM description (Definition 2, Table 2).
+    fn fsm(&self) -> FsmSpec;
+
+    /// Instruction hook (after alias-graph update).
+    fn on_inst(&self, cx: &mut TrackCtx<'_>, inst: &pata_ir::InstKind, info: &UpdateInfo);
+
+    /// Taken-branch hook with the resolved predicate.
+    fn on_branch(&self, _cx: &mut TrackCtx<'_>, _ev: &BranchEvent) {}
+
+    /// Frame-return hook.
+    fn on_frame_end(&self, _cx: &mut TrackCtx<'_>, _ev: &FrameEndEvent<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: usize) -> TrackKey {
+        TrackKey::Var(VarId::from_index(i))
+    }
+
+    fn entry(state: StateVal) -> StateEntry {
+        StateEntry {
+            state,
+            origin_loc: Loc::default(),
+            origin_id: InstId {
+                func: pata_ir::FuncId::from_index(0),
+                block: pata_ir::BlockId::from_index(0),
+                inst: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn set_get_clear() {
+        let mut t = StateTable::new();
+        assert!(t.get(0, key(1)).is_none());
+        t.set(0, key(1), entry(2));
+        assert_eq!(t.get(0, key(1)).unwrap().state, 2);
+        // Checker namespaces are independent.
+        assert!(t.get(1, key(1)).is_none());
+        t.clear(0, key(1));
+        assert!(t.get(0, key(1)).is_none());
+    }
+
+    #[test]
+    fn rollback_restores_previous_states() {
+        let mut t = StateTable::new();
+        t.set(0, key(1), entry(1));
+        let mark = t.mark();
+        t.set(0, key(1), entry(2));
+        t.set(0, key(2), entry(3));
+        t.clear(0, key(1));
+        t.rollback(mark);
+        assert_eq!(t.get(0, key(1)).unwrap().state, 1);
+        assert!(t.get(0, key(2)).is_none());
+    }
+
+    #[test]
+    fn nested_rollbacks() {
+        let mut t = StateTable::new();
+        let m0 = t.mark();
+        t.set(0, key(1), entry(1));
+        let m1 = t.mark();
+        t.set(0, key(1), entry(2));
+        t.rollback(m1);
+        assert_eq!(t.get(0, key(1)).unwrap().state, 1);
+        t.rollback(m0);
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! Alias-aware path validation (paper §3.3).
+//!
+//! Stage 1 reports possible bugs without checking code-path feasibility;
+//! stage 2 translates each candidate's path to SMT constraints and asks the
+//! solver whether their conjunction is satisfiable. Because stage 1 already
+//! mapped every alias set to a single symbol (Def. 4/5), the constraint
+//! systems are small: copy equalities and implicit field equalities
+//! (Fig. 9b) never appear — they hold by symbol identity (Fig. 9c).
+//!
+//! An `Unsat` verdict means the path cannot execute, so the candidate is a
+//! false bug and is dropped. `Sat`/`Unknown` keep the candidate (the paper
+//! keeps candidates its Z3 encoding cannot refute, §5.2).
+
+use crate::report::PossibleBug;
+use pata_smt::{SatResult, Solver, SolverStats};
+
+/// The verdict for one candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Feasibility {
+    /// The path (plus bug condition) is satisfiable — a real report.
+    Feasible,
+    /// The conjunction is unsatisfiable — a false bug, dropped.
+    Infeasible,
+}
+
+/// Validates one candidate bug's code path.
+///
+/// # Example
+///
+/// ```
+/// use pata_core::validate::{validate_constraints, Feasibility};
+/// use pata_smt::{Constraint, CmpOp, Term, SymId};
+///
+/// // x == 0 together with x != 0 — infeasible path.
+/// let cs = vec![
+///     Constraint::new(CmpOp::Eq, Term::sym(SymId(0)), Term::int(0)),
+///     Constraint::new(CmpOp::Ne, Term::sym(SymId(0)), Term::int(0)),
+/// ];
+/// let (verdict, _) = validate_constraints(&cs, &[]);
+/// assert_eq!(verdict, Feasibility::Infeasible);
+/// ```
+pub fn validate_constraints(
+    path: &[pata_smt::Constraint],
+    extra: &[pata_smt::Constraint],
+) -> (Feasibility, SolverStats) {
+    let mut solver = Solver::new();
+    // Reserve ids at least as high as any symbol mentioned.
+    let mut max_sym = 0u32;
+    for c in path.iter().chain(extra) {
+        max_sym = max_sym.max(max_sym_in(&c.lhs)).max(max_sym_in(&c.rhs));
+    }
+    solver.reserve_symbols(max_sym + 1);
+    for c in path.iter().chain(extra) {
+        solver.assert_constraint(c.clone());
+    }
+    let (result, stats) = solver.check_with_stats();
+    let verdict = match result {
+        SatResult::Unsat => Feasibility::Infeasible,
+        SatResult::Sat | SatResult::Unknown => Feasibility::Feasible,
+    };
+    (verdict, stats)
+}
+
+fn max_sym_in(t: &pata_smt::Term) -> u32 {
+    use pata_smt::Term::*;
+    match t {
+        Const(_) => 0,
+        Sym(s) => s.0,
+        Add(a, b) | Sub(a, b) | Mul(a, b) | Opaque(_, a, b) => max_sym_in(a).max(max_sym_in(b)),
+        Neg(a) => max_sym_in(a),
+    }
+}
+
+/// Validates a candidate bug.
+pub fn validate(bug: &PossibleBug) -> Feasibility {
+    validate_constraints(&bug.constraints, &bug.extra).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pata_smt::{CmpOp, Constraint, SymId, Term};
+
+    #[test]
+    fn feasible_when_unconstrained() {
+        let (v, _) = validate_constraints(&[], &[]);
+        assert_eq!(v, Feasibility::Feasible);
+    }
+
+    #[test]
+    fn fig9_alias_merged_symbols_refute() {
+        // R(p->f)==0 (line 3) and R(t->f)!=0 (line 6) where p->f and t->f
+        // share one symbol because p and t alias — paper Fig. 9c.
+        let pf = SymId(0);
+        let cs = vec![
+            Constraint::new(CmpOp::Eq, Term::sym(pf), Term::int(0)),
+            Constraint::new(CmpOp::Ne, Term::sym(pf), Term::int(0)),
+        ];
+        assert_eq!(validate_constraints(&cs, &[]).0, Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn fig9_unaware_symbols_do_not_refute() {
+        // The alias-unaware encoding gives p->f and t->f distinct symbols
+        // with no connecting constraint — the false bug survives (PATA-NA's
+        // higher false-positive rate, Table 6).
+        let pf = SymId(0);
+        let tf = SymId(1);
+        let cs = vec![
+            Constraint::new(CmpOp::Eq, Term::sym(pf), Term::int(0)),
+            Constraint::new(CmpOp::Ne, Term::sym(tf), Term::int(0)),
+        ];
+        assert_eq!(validate_constraints(&cs, &[]).0, Feasibility::Feasible);
+    }
+
+    #[test]
+    fn extra_bug_condition_participates() {
+        // Path says d > 0; bug condition says d == 0 — infeasible.
+        let d = SymId(3);
+        let path = vec![Constraint::new(CmpOp::Gt, Term::sym(d), Term::int(0))];
+        let extra = vec![Constraint::new(CmpOp::Eq, Term::sym(d), Term::int(0))];
+        assert_eq!(validate_constraints(&path, &extra).0, Feasibility::Infeasible);
+    }
+}

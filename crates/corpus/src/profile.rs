@@ -1,0 +1,225 @@
+//! OS profiles — scaled-down structural models of the four evaluated OSes
+//! (paper Table 4), controlling corpus size, category mix and bug density.
+
+use pata_ir::Category;
+
+/// A weighted category mix: `(category, file share, bug share)`.
+///
+/// File shares control how many files each OS part gets; bug shares control
+/// where injected bugs land, reproducing the Fig. 11 distribution (75% of
+/// Linux bugs in drivers, 68% of IoT bugs in third-party modules).
+pub type CategoryMix = &'static [(Category, f64, f64)];
+
+const LINUX_MIX: CategoryMix = &[
+    (Category::Drivers, 0.58, 0.75),
+    (Category::Network, 0.08, 0.09),
+    (Category::Filesystem, 0.08, 0.07),
+    (Category::CoreKernel, 0.16, 0.05),
+    (Category::Other, 0.10, 0.04),
+];
+
+const IOT_MIX: CategoryMix = &[
+    (Category::ThirdParty, 0.46, 0.68),
+    (Category::Subsystem, 0.28, 0.25),
+    (Category::CoreKernel, 0.16, 0.04),
+    (Category::Other, 0.10, 0.03),
+];
+
+/// A scaled model of one evaluated OS.
+#[derive(Debug, Clone)]
+pub struct OsProfile {
+    /// Display name (matches the paper's Table 4 rows).
+    pub name: &'static str,
+    /// Version string, for Table 4.
+    pub version: &'static str,
+    /// Number of generated (analyzable) source files at scale 1.0.
+    pub base_files: usize,
+    /// Additional files that exist but are "not enabled by the compilation
+    /// configuration" (paper §5.1 analyzed/all distinction) — reported in
+    /// Table 4/5 but not generated.
+    pub base_unanalyzed_files: usize,
+    /// Mean functions per file.
+    pub functions_per_file: usize,
+    /// Category mix.
+    pub mix: CategoryMix,
+    /// Fraction of files receiving one injected real bug.
+    pub bug_density: f64,
+    /// Fraction of files receiving one false-positive trap.
+    pub trap_density: f64,
+    /// RNG seed (fixed per profile for reproducibility).
+    pub seed: u64,
+    /// Scale multiplier applied to file counts.
+    pub scale: f64,
+}
+
+impl OsProfile {
+    /// The Linux 5.6 model.
+    pub fn linux() -> Self {
+        OsProfile {
+            name: "Linux kernel",
+            version: "5.6 (modeled)",
+            base_files: 420,
+            base_unanalyzed_files: 310,
+            functions_per_file: 6,
+            mix: LINUX_MIX,
+            bug_density: 0.55,
+            trap_density: 0.29,
+            seed: 0x11ab_cd01,
+            scale: 1.0,
+        }
+    }
+
+    /// The Zephyr 2.1.0 model.
+    pub fn zephyr() -> Self {
+        OsProfile {
+            name: "Zephyr",
+            version: "2.1.0 (modeled)",
+            base_files: 42,
+            base_unanalyzed_files: 68,
+            functions_per_file: 5,
+            mix: IOT_MIX,
+            bug_density: 0.42,
+            trap_density: 0.20,
+            seed: 0x2e9f_0002,
+            scale: 1.0,
+        }
+    }
+
+    /// The RIOT 2020.04 model.
+    pub fn riot() -> Self {
+        OsProfile {
+            name: "RIOT",
+            version: "2020.04 (modeled)",
+            base_files: 86,
+            base_unanalyzed_files: 250,
+            functions_per_file: 5,
+            mix: IOT_MIX,
+            bug_density: 0.52,
+            trap_density: 0.24,
+            seed: 0x3107_0003,
+            scale: 1.0,
+        }
+    }
+
+    /// The TencentOS-tiny model.
+    pub fn tencent() -> Self {
+        OsProfile {
+            name: "TencentOS-tiny",
+            version: "23313e (modeled)",
+            base_files: 38,
+            base_unanalyzed_files: 100,
+            functions_per_file: 5,
+            mix: IOT_MIX,
+            bug_density: 0.50,
+            trap_density: 0.21,
+            seed: 0x7e2c_0004,
+            scale: 1.0,
+        }
+    }
+
+    /// All four evaluated OS models, in the paper's order.
+    pub fn all() -> Vec<OsProfile> {
+        vec![Self::linux(), Self::zephyr(), Self::riot(), Self::tencent()]
+    }
+
+    /// Scales the corpus (0.1 = ten times smaller; useful in tests).
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Overrides the seed (e.g. for robustness experiments).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of files to actually generate.
+    pub fn file_count(&self) -> usize {
+        ((self.base_files as f64 * self.scale).round() as usize).max(4)
+    }
+
+    /// Number of not-compiled files (Table 4 "all" minus "analyzed").
+    pub fn unanalyzed_file_count(&self) -> usize {
+        (self.base_unanalyzed_files as f64 * self.scale).round() as usize
+    }
+
+    /// Splits `file_count` across the category mix.
+    pub fn files_per_category(&self) -> Vec<(Category, usize)> {
+        let total = self.file_count();
+        let mut out = Vec::new();
+        let mut assigned = 0;
+        for (i, &(cat, share, _)) in self.mix.iter().enumerate() {
+            let n = if i + 1 == self.mix.len() {
+                total - assigned
+            } else {
+                ((total as f64 * share).round() as usize).min(total - assigned)
+            };
+            assigned += n;
+            out.push((cat, n));
+        }
+        out
+    }
+
+    /// Bug weight of a category (used to steer injection toward drivers /
+    /// third-party modules, matching Fig. 11).
+    pub fn bug_share(&self, cat: Category) -> f64 {
+        self.mix.iter().find(|(c, _, _)| *c == cat).map(|(_, _, b)| *b).unwrap_or(0.0)
+    }
+
+    /// File share of a category.
+    pub fn file_share(&self, cat: Category) -> f64 {
+        self.mix.iter().find(|(c, _, _)| *c == cat).map(|(_, f, _)| *f).unwrap_or(0.0)
+    }
+
+    /// Path prefix for a category (drives `pata-cc`'s category inference).
+    pub fn dir_of(cat: Category) -> &'static str {
+        match cat {
+            Category::Drivers => "drivers",
+            Category::Network => "net",
+            Category::Filesystem => "fs",
+            Category::Subsystem => "subsys",
+            Category::ThirdParty => "third_party",
+            Category::CoreKernel => "kernel",
+            Category::Other => "lib",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one() {
+        for p in OsProfile::all() {
+            let files: f64 = p.mix.iter().map(|(_, f, _)| f).sum();
+            let bugs: f64 = p.mix.iter().map(|(_, _, b)| b).sum();
+            assert!((files - 1.0).abs() < 1e-9, "{}: file shares {files}", p.name);
+            assert!((bugs - 1.0).abs() < 1e-9, "{}: bug shares {bugs}", p.name);
+        }
+    }
+
+    #[test]
+    fn category_split_covers_all_files() {
+        for p in OsProfile::all() {
+            let split = p.files_per_category();
+            let total: usize = split.iter().map(|(_, n)| n).sum();
+            assert_eq!(total, p.file_count(), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn scale_shrinks() {
+        let full = OsProfile::linux();
+        let small = OsProfile::linux().with_scale(0.1);
+        assert!(small.file_count() < full.file_count());
+        assert!(small.file_count() >= 4);
+    }
+
+    #[test]
+    fn linux_is_largest() {
+        let sizes: Vec<usize> = OsProfile::all().iter().map(|p| p.file_count()).collect();
+        assert!(sizes[0] > sizes[1] && sizes[0] > sizes[2] && sizes[0] > sizes[3]);
+    }
+}

@@ -1,0 +1,225 @@
+//! Control-flow-graph utilities: successor/predecessor maps, reverse
+//! postorder, and reachability — shared by PATA's path explorer and by the
+//! baseline analyzers (which are flow- or path-insensitive and iterate the
+//! CFG in RPO instead of enumerating paths).
+
+use crate::function::{BlockId, Function};
+use std::collections::VecDeque;
+
+/// Successor/predecessor view over one function's blocks.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+    entry: BlockId,
+}
+
+impl Cfg {
+    /// Builds the CFG of `func`.
+    pub fn new(func: &Function) -> Self {
+        let n = func.blocks().len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (bi, block) in func.blocks().iter().enumerate() {
+            for s in block.term.successors() {
+                succs[bi].push(s);
+                preds[s.index()].push(BlockId::from_index(bi));
+            }
+        }
+        Cfg { succs, preds, entry: func.entry() }
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Successors of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessors of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the function has no blocks (never true for built functions).
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Blocks reachable from the entry.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        let mut queue = VecDeque::new();
+        seen[self.entry.index()] = true;
+        queue.push_back(self.entry);
+        while let Some(b) = queue.pop_front() {
+            for &s in self.succs(b) {
+                if !seen[s.index()] {
+                    seen[s.index()] = true;
+                    queue.push_back(s);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Reverse postorder over a function's reachable blocks.
+///
+/// Iterating in RPO visits each block before its successors except along
+/// back edges — the standard order for forward dataflow (used by the
+/// Andersen-points-to and value-flow baselines).
+#[derive(Debug, Clone)]
+pub struct ReversePostorder {
+    order: Vec<BlockId>,
+    position: Vec<Option<usize>>,
+}
+
+impl ReversePostorder {
+    /// Computes the RPO of `func`'s CFG.
+    pub fn new(func: &Function) -> Self {
+        let cfg = Cfg::new(func);
+        let n = cfg.len();
+        let mut visited = vec![false; n];
+        let mut postorder = Vec::with_capacity(n);
+        // Iterative DFS computing postorder.
+        let mut stack: Vec<(BlockId, usize)> = vec![(cfg.entry(), 0)];
+        visited[cfg.entry().index()] = true;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let succs = cfg.succs(b);
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                postorder.push(b);
+                stack.pop();
+            }
+        }
+        postorder.reverse();
+        let mut position = vec![None; n];
+        for (i, b) in postorder.iter().enumerate() {
+            position[b.index()] = Some(i);
+        }
+        ReversePostorder { order: postorder, position }
+    }
+
+    /// The blocks in reverse postorder.
+    pub fn order(&self) -> &[BlockId] {
+        &self.order
+    }
+
+    /// Position of `b` in the order, if reachable.
+    pub fn position(&self, b: BlockId) -> Option<usize> {
+        self.position[b.index()]
+    }
+
+    /// Whether the edge `from → to` is a back edge (to appears before from).
+    pub fn is_back_edge(&self, from: BlockId, to: BlockId) -> bool {
+        match (self.position(from), self.position(to)) {
+            (Some(f), Some(t)) => t <= f,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{CmpOp, ConstVal, Operand};
+    use crate::module::Module;
+    use crate::types::Type;
+
+    fn diamond() -> (Module, crate::module::FuncId) {
+        let mut m = Module::new();
+        let file = m.add_file("d.c");
+        let mut b = FunctionBuilder::new(&mut m, "diamond", file);
+        let p = b.param("p", Type::Int);
+        let c = b.temp(Type::Bool);
+        b.cmp(c, CmpOp::Eq, Operand::Var(p), Operand::Const(ConstVal::Int(0)), 1);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        b.branch(c, t, e, 1);
+        b.switch_to(t);
+        b.jump(j, 2);
+        b.switch_to(e);
+        b.jump(j, 3);
+        b.switch_to(j);
+        b.ret(None, 4);
+        let id = b.finish();
+        (m, id)
+    }
+
+    #[test]
+    fn diamond_cfg_edges() {
+        let (m, id) = diamond();
+        let cfg = Cfg::new(m.function(id));
+        assert_eq!(cfg.len(), 4);
+        assert_eq!(cfg.succs(BlockId::from_index(0)).len(), 2);
+        assert_eq!(cfg.preds(BlockId::from_index(3)).len(), 2);
+        assert!(cfg.reachable().iter().all(|&r| r));
+    }
+
+    #[test]
+    fn rpo_entry_first_join_last() {
+        let (m, id) = diamond();
+        let rpo = ReversePostorder::new(m.function(id));
+        assert_eq!(rpo.order().first(), Some(&BlockId::from_index(0)));
+        assert_eq!(rpo.order().last(), Some(&BlockId::from_index(3)));
+        assert_eq!(rpo.order().len(), 4);
+    }
+
+    #[test]
+    fn back_edge_detection() {
+        // while loop: entry -> header; header -> body|exit; body -> header
+        let mut m = Module::new();
+        let file = m.add_file("l.c");
+        let mut b = FunctionBuilder::new(&mut m, "looper", file);
+        let i = b.local("i", Type::Int);
+        b.assign_const(i, ConstVal::Int(0), 1);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.jump(header, 1);
+        b.switch_to(header);
+        let c = b.temp(Type::Bool);
+        b.cmp(c, CmpOp::Lt, Operand::Var(i), Operand::Const(ConstVal::Int(10)), 2);
+        b.branch(c, body, exit, 2);
+        b.switch_to(body);
+        b.jump(header, 3);
+        b.switch_to(exit);
+        b.ret(None, 4);
+        let id = b.finish();
+        let rpo = ReversePostorder::new(m.function(id));
+        assert!(rpo.is_back_edge(body, header));
+        assert!(!rpo.is_back_edge(header, body));
+    }
+
+    #[test]
+    fn unreachable_block_excluded_from_rpo() {
+        let mut m = Module::new();
+        let file = m.add_file("u.c");
+        let mut b = FunctionBuilder::new(&mut m, "f", file);
+        let dead = b.new_block();
+        b.ret(None, 1);
+        b.switch_to(dead);
+        b.ret(None, 2);
+        let id = b.finish();
+        let rpo = ReversePostorder::new(m.function(id));
+        assert_eq!(rpo.order().len(), 1);
+        assert!(rpo.position(dead).is_none());
+    }
+}

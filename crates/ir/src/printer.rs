@@ -1,0 +1,203 @@
+//! A textual printer for PIR modules, for debugging and documentation.
+//!
+//! The output resembles LLVM IR:
+//!
+//! ```text
+//! fn friend_set(%3: struct#0*) -> void {
+//! bb0:
+//!   %4 = gep %3, user_data      ; file#0:2709
+//!   ...
+//! }
+//! ```
+
+use crate::function::Function;
+use crate::inst::{Callee, InstKind, Operand, Terminator};
+use crate::module::Module;
+use std::fmt::Write;
+
+fn fmt_operand(m: &Module, op: &Operand) -> String {
+    match op {
+        Operand::Var(v) => format!("%{}<{}>", v.index(), m.var(*v).name),
+        Operand::Const(c) => c.to_string(),
+    }
+}
+
+fn fmt_var(m: &Module, v: crate::function::VarId) -> String {
+    format!("%{}<{}>", v.index(), m.var(v).name)
+}
+
+fn print_function(m: &Module, f: &Function, out: &mut String) {
+    let params: Vec<String> =
+        f.params().iter().map(|&p| format!("{}: {}", fmt_var(m, p), m.var(p).ty)).collect();
+    let _ = writeln!(
+        out,
+        "fn {}({}) -> {} {}{{",
+        f.name(),
+        params.join(", "),
+        f.ret_ty(),
+        if f.is_interface() { "[interface] " } else { "" }
+    );
+    for (bi, block) in f.blocks().iter().enumerate() {
+        let _ = writeln!(out, "bb{bi}:");
+        for inst in &block.insts {
+            let text = match &inst.kind {
+                InstKind::Move { dst, src } => {
+                    format!("{} = move {}", fmt_var(m, *dst), fmt_var(m, *src))
+                }
+                InstKind::Const { dst, value } => {
+                    format!("{} = const {}", fmt_var(m, *dst), value)
+                }
+                InstKind::Load { dst, addr } => {
+                    format!("{} = load *{}", fmt_var(m, *dst), fmt_var(m, *addr))
+                }
+                InstKind::Store { addr, val } => {
+                    format!("store *{} = {}", fmt_var(m, *addr), fmt_operand(m, val))
+                }
+                InstKind::Gep { dst, base, field } => format!(
+                    "{} = gep {}, {}",
+                    fmt_var(m, *dst),
+                    fmt_var(m, *base),
+                    m.interner.resolve(*field)
+                ),
+                InstKind::FuncAddr { dst, func } => format!(
+                    "{} = func-addr {}",
+                    fmt_var(m, *dst),
+                    m.function(*func).name()
+                ),
+                InstKind::AddrOf { dst, src } => {
+                    format!("{} = addr-of {}", fmt_var(m, *dst), fmt_var(m, *src))
+                }
+                InstKind::Index { dst, base, index } => format!(
+                    "{} = index {}[{}]",
+                    fmt_var(m, *dst),
+                    fmt_var(m, *base),
+                    fmt_operand(m, index)
+                ),
+                InstKind::Bin { dst, op, lhs, rhs } => format!(
+                    "{} = {} {} {}",
+                    fmt_var(m, *dst),
+                    fmt_operand(m, lhs),
+                    op,
+                    fmt_operand(m, rhs)
+                ),
+                InstKind::Cmp { dst, op, lhs, rhs } => format!(
+                    "{} = cmp {} {} {}",
+                    fmt_var(m, *dst),
+                    fmt_operand(m, lhs),
+                    op,
+                    fmt_operand(m, rhs)
+                ),
+                InstKind::Call { dst, callee, args } => {
+                    let target = match callee {
+                        Callee::Direct(f) => m.function(*f).name().to_owned(),
+                        Callee::External(s) => format!("extern:{}", m.interner.resolve(*s)),
+                        Callee::Indirect(v) => format!("*{}", fmt_var(m, *v)),
+                    };
+                    let args: Vec<String> = args.iter().map(|a| fmt_operand(m, a)).collect();
+                    match dst {
+                        Some(d) => {
+                            format!("{} = call {}({})", fmt_var(m, *d), target, args.join(", "))
+                        }
+                        None => format!("call {}({})", target, args.join(", ")),
+                    }
+                }
+                InstKind::Alloca { dst, storage } => format!(
+                    "alloca {}{}",
+                    fmt_var(m, *dst),
+                    if *storage { " [storage]" } else { "" }
+                ),
+                InstKind::Malloc { dst } => format!("{} = malloc", fmt_var(m, *dst)),
+                InstKind::Free { ptr } => format!("free {}", fmt_var(m, *ptr)),
+                InstKind::Memset { ptr } => format!("memset {}", fmt_var(m, *ptr)),
+                InstKind::Lock { obj } => format!("lock {}", fmt_var(m, *obj)),
+                InstKind::Unlock { obj } => format!("unlock {}", fmt_var(m, *obj)),
+            };
+            let _ = writeln!(out, "  {text:<50} ; {}", inst.loc);
+        }
+        let term = match &block.term {
+            Terminator::Jump(b) => format!("jump bb{}", b.index()),
+            Terminator::Branch { cond, then_bb, else_bb } => format!(
+                "br {} ? bb{} : bb{}",
+                fmt_var(m, *cond),
+                then_bb.index(),
+                else_bb.index()
+            ),
+            Terminator::Ret(Some(v)) => format!("ret {}", fmt_operand(m, v)),
+            Terminator::Ret(None) => "ret".to_owned(),
+            Terminator::Unreachable => "unreachable".to_owned(),
+        };
+        let _ = writeln!(out, "  {term:<50} ; {}", block.term_loc);
+    }
+    let _ = writeln!(out, "}}");
+}
+
+/// Renders the whole module as human-readable text.
+///
+/// # Example
+///
+/// ```
+/// use pata_ir::{Module, FunctionBuilder, print_module};
+///
+/// let mut m = Module::new();
+/// let file = m.add_file("hello.c");
+/// let mut b = FunctionBuilder::new(&mut m, "nop", file);
+/// b.ret(None, 1);
+/// b.finish();
+/// let text = print_module(&m);
+/// assert!(text.contains("fn nop()"));
+/// ```
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    for s in m.structs() {
+        let fields: Vec<String> =
+            s.fields.iter().map(|(f, t)| format!("{}: {t}", m.interner.resolve(*f))).collect();
+        let _ = writeln!(out, "struct {} {{ {} }}", s.name, fields.join(", "));
+    }
+    for f in m.functions() {
+        print_function(m, f, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::ConstVal;
+    use crate::types::Type;
+
+    #[test]
+    fn prints_all_instruction_forms() {
+        let mut m = Module::new();
+        let file = m.add_file("p.c");
+        let fld = m.interner.intern("next");
+        let mut b = FunctionBuilder::new(&mut m, "kitchen_sink", file);
+        let p = b.param("p", Type::ptr(Type::Int));
+        let q = b.local("q", Type::ptr(Type::Int));
+        let x = b.local("x", Type::Int);
+        b.alloca(x, false, 1);
+        b.mov(q, p, 2);
+        b.assign_const(x, ConstVal::Int(3), 3);
+        b.load(x, p, 4);
+        b.store(p, x, 5);
+        b.gep(q, p, fld, 6);
+        b.index(q, p, 0i64, 7);
+        b.bin(x, crate::inst::BinOp::Add, x, 1i64, 8);
+        let c = b.temp(Type::Bool);
+        b.cmp(c, crate::inst::CmpOp::Ne, x, 0i64, 9);
+        b.malloc(q, 10);
+        b.memset(q, 11);
+        b.free(q, 12);
+        b.lock(p, 13);
+        b.unlock(p, 14);
+        b.ret(None, 15);
+        b.finish();
+        let text = print_module(&m);
+        for needle in [
+            "move", "const", "load", "store", "gep", "index", "cmp", "malloc", "memset", "free",
+            "lock", "unlock", "ret",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,550 @@
+//! The conjunction solver: integer difference logic with a zero node,
+//! plus disequality refutation and opaque-term congruence.
+
+use crate::linear::{linearize, LinExpr, OpaqueInterner, OpaqueKey};
+use crate::term::{CmpOp, Constraint, SymId, Term};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The outcome of a satisfiability check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatResult {
+    /// The conjunction is satisfiable within the decided fragment.
+    Sat,
+    /// The conjunction is definitely unsatisfiable — the code path is
+    /// infeasible and the candidate bug is a false positive.
+    Unsat,
+    /// No contradiction found, but some constraints fell outside the decided
+    /// fragment. PATA treats this as feasible (conservative towards keeping
+    /// bugs), matching the paper's residual-false-positive behaviour (§5.2).
+    Unknown,
+}
+
+impl fmt::Display for SatResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SatResult::Sat => "sat",
+            SatResult::Unsat => "unsat",
+            SatResult::Unknown => "unknown",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Counters describing one solver run; surfaced into PATA's Table 5
+/// "SMT constraints" accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Constraints asserted.
+    pub constraints: usize,
+    /// Difference edges derived.
+    pub edges: usize,
+    /// Disequalities tracked.
+    pub disequalities: usize,
+    /// Constraints outside the decided fragment.
+    pub unknown: usize,
+}
+
+/// One difference edge `v - u <= w`.
+#[derive(Debug, Clone, Copy)]
+struct Edge {
+    u: u32,
+    v: u32,
+    w: i64,
+}
+
+/// A conjunction solver over integer symbols.
+///
+/// Create symbols with [`Solver::fresh_symbol`], assert constraints with
+/// [`Solver::assert_cmp`] / [`Solver::assert_constraint`], then call
+/// [`Solver::check`].
+///
+/// # Example
+///
+/// ```
+/// use pata_smt::{Solver, Term, CmpOp, SatResult};
+///
+/// let mut s = Solver::new();
+/// let x = s.fresh_symbol();
+/// let y = s.fresh_symbol();
+/// s.assert_cmp(CmpOp::Eq, Term::sym(x), Term::sym(y).add(Term::int(1)));
+/// s.assert_cmp(CmpOp::Lt, Term::sym(x), Term::sym(y));
+/// assert_eq!(s.check(), SatResult::Unsat); // x == y+1 contradicts x < y
+/// ```
+#[derive(Debug, Default)]
+pub struct Solver {
+    next_sym: u32,
+    opaque: HashMap<OpaqueKey, SymId>,
+    constraints: Vec<Constraint>,
+}
+
+struct InternerView<'a> {
+    next_sym: &'a mut u32,
+    opaque: &'a mut HashMap<OpaqueKey, SymId>,
+}
+
+impl OpaqueInterner for InternerView<'_> {
+    fn opaque_symbol(&mut self, key: OpaqueKey) -> SymId {
+        if let Some(&s) = self.opaque.get(&key) {
+            return s;
+        }
+        let s = SymId(*self.next_sym);
+        *self.next_sym += 1;
+        self.opaque.insert(key, s);
+        s
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh symbol.
+    pub fn fresh_symbol(&mut self) -> SymId {
+        let s = SymId(self.next_sym);
+        self.next_sym += 1;
+        s
+    }
+
+    /// Makes sure symbols created elsewhere (e.g. by PATA's alias-set → X
+    /// mapping) are known; call with the highest external id.
+    pub fn reserve_symbols(&mut self, count: u32) {
+        self.next_sym = self.next_sym.max(count);
+    }
+
+    /// Asserts `lhs op rhs`.
+    pub fn assert_cmp(&mut self, op: CmpOp, lhs: Term, rhs: Term) {
+        self.constraints.push(Constraint::new(op, lhs, rhs));
+    }
+
+    /// Asserts a prebuilt constraint.
+    pub fn assert_constraint(&mut self, c: Constraint) {
+        self.constraints.push(c);
+    }
+
+    /// Number of constraints asserted so far.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Whether no constraints are asserted.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Decides the conjunction. See [`SatResult`].
+    pub fn check(&mut self) -> SatResult {
+        self.check_with_stats().0
+    }
+
+    /// Decides the conjunction and reports solver statistics.
+    pub fn check_with_stats(&mut self) -> (SatResult, SolverStats) {
+        let mut stats =
+            SolverStats { constraints: self.constraints.len(), ..SolverStats::default() };
+        let mut edges: Vec<Edge> = Vec::new();
+        // Disequalities as (node_a, node_b, c): value(a) - value(b) != c.
+        let mut diseqs: Vec<(u32, u32, i64)> = Vec::new();
+        let mut incomplete = false;
+
+        let constraints = std::mem::take(&mut self.constraints);
+        for c in &constraints {
+            let mut view =
+                InternerView { next_sym: &mut self.next_sym, opaque: &mut self.opaque };
+            let l = linearize(&c.lhs, &mut view);
+            let r = linearize(&c.rhs, &mut view);
+            let diff = l.sub(&r); // constraint: diff op 0
+            match classify(&diff, c.op) {
+                Classified::True => {}
+                Classified::False => {
+                    self.constraints = constraints;
+                    return (SatResult::Unsat, stats);
+                }
+                Classified::Edges(es) => {
+                    stats.edges += es.len();
+                    edges.extend(es);
+                }
+                Classified::Diseq(a, b, k) => {
+                    stats.disequalities += 1;
+                    diseqs.push((a, b, k));
+                }
+                Classified::Unknown => {
+                    stats.unknown += 1;
+                    incomplete = true;
+                }
+            }
+        }
+        self.constraints = constraints;
+
+        let n = (self.next_sym + 1) as usize; // node 0 is the zero vertex
+        if has_negative_cycle(n, &edges) {
+            return (SatResult::Unsat, stats);
+        }
+        for &(a, b, k) in &diseqs {
+            // value(a) - value(b) != k is refuted when the graph pins
+            // value(a) - value(b) to exactly k.
+            let d_ab = shortest_path(n, &edges, b, a); // value(a)-value(b) <= d_ab
+            let d_ba = shortest_path(n, &edges, a, b); // value(b)-value(a) <= d_ba
+            if let (Some(up), Some(down)) = (d_ab, d_ba) {
+                if up <= k && down <= -k {
+                    return (SatResult::Unsat, stats);
+                }
+            }
+        }
+        if incomplete {
+            (SatResult::Unknown, stats)
+        } else {
+            (SatResult::Sat, stats)
+        }
+    }
+}
+
+fn node(s: SymId) -> u32 {
+    s.0 + 1
+}
+
+enum Classified {
+    True,
+    False,
+    Edges(Vec<Edge>),
+    Diseq(u32, u32, i64),
+    Unknown,
+}
+
+/// Turns `diff op 0` into difference edges / disequalities.
+fn classify(diff: &LinExpr, op: CmpOp) -> Classified {
+    // Pure constant.
+    if let Some(v) = diff.as_const() {
+        let holds = match op {
+            CmpOp::Eq => v == 0,
+            CmpOp::Ne => v != 0,
+            CmpOp::Lt => v < 0,
+            CmpOp::Le => v <= 0,
+            CmpOp::Gt => v > 0,
+            CmpOp::Ge => v >= 0,
+        };
+        return if holds { Classified::True } else { Classified::False };
+    }
+
+    // Reduce Gt/Ge to Lt/Le by negating the expression.
+    let (expr, op) = match op {
+        CmpOp::Gt => (LinExpr::zero().sub(diff), CmpOp::Lt),
+        CmpOp::Ge => (LinExpr::zero().sub(diff), CmpOp::Le),
+        _ => (diff.clone(), op),
+    };
+    // Strict to non-strict over the integers.
+    let (expr, op) = match op {
+        CmpOp::Lt => {
+            let mut e = expr;
+            e.konst += 1;
+            (e, CmpOp::Le)
+        }
+        other => (expr, other),
+    };
+
+    // k·x + c op 0 for arbitrary k.
+    if expr.coeffs.len() == 1 {
+        let (&s, &k) = expr.coeffs.iter().next().unwrap();
+        let c = expr.konst;
+        let x = node(s);
+        return match op {
+            CmpOp::Le => {
+                // k·x <= -c
+                let bound = -c;
+                if k > 0 {
+                    Classified::Edges(vec![Edge { u: 0, v: x, w: bound.div_euclid(k) }])
+                } else {
+                    // x >= ceil(bound/k) → zero - x <= -ceil
+                    let lo = ceil_div(bound, k);
+                    Classified::Edges(vec![Edge { u: x, v: 0, w: -lo }])
+                }
+            }
+            CmpOp::Eq => {
+                if c % k == 0 {
+                    let v = -c / k;
+                    Classified::Edges(vec![
+                        Edge { u: 0, v: x, w: v },
+                        Edge { u: x, v: 0, w: -v },
+                    ])
+                } else {
+                    Classified::False
+                }
+            }
+            CmpOp::Ne => {
+                if c % k == 0 {
+                    Classified::Diseq(x, 0, -c / k)
+                } else {
+                    Classified::True
+                }
+            }
+            _ => unreachable!("normalized above"),
+        };
+    }
+
+    // x - y + c op 0.
+    if let Some((xs, ys, c)) = expr.as_difference() {
+        let (x, y) = (node(xs), node(ys));
+        return match op {
+            // x - y <= -c  ⇒ edge y → x with weight -c.
+            CmpOp::Le => Classified::Edges(vec![Edge { u: y, v: x, w: -c }]),
+            CmpOp::Eq => Classified::Edges(vec![
+                Edge { u: y, v: x, w: -c },
+                Edge { u: x, v: y, w: c },
+            ]),
+            CmpOp::Ne => Classified::Diseq(x, y, -c),
+            _ => unreachable!("normalized above"),
+        };
+    }
+
+    Classified::Unknown
+}
+
+/// Integer ceiling division for any nonzero divisor sign.
+fn ceil_div(a: i64, b: i64) -> i64 {
+    let q = a / b;
+    let r = a % b;
+    if r != 0 && ((r > 0) == (b > 0)) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// Bellman-Ford negative-cycle detection with all distances initialized to
+/// zero (equivalent to a virtual super-source).
+fn has_negative_cycle(n: usize, edges: &[Edge]) -> bool {
+    let mut dist = vec![0i64; n];
+    for i in 0..n {
+        let mut changed = false;
+        for e in edges {
+            let cand = dist[e.u as usize].saturating_add(e.w);
+            if cand < dist[e.v as usize] {
+                dist[e.v as usize] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            return false;
+        }
+        if i + 1 == n && changed {
+            return true;
+        }
+    }
+    false
+}
+
+/// Single-source shortest path; `None` when `to` is unreachable from `from`.
+fn shortest_path(n: usize, edges: &[Edge], from: u32, to: u32) -> Option<i64> {
+    const INF: i64 = i64::MAX / 4;
+    let mut dist = vec![INF; n];
+    dist[from as usize] = 0;
+    for _ in 0..n {
+        let mut changed = false;
+        for e in edges {
+            if dist[e.u as usize] < INF {
+                let cand = dist[e.u as usize].saturating_add(e.w);
+                if cand < dist[e.v as usize] {
+                    dist[e.v as usize] = cand;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    if dist[to as usize] >= INF {
+        None
+    } else {
+        Some(dist[to as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::OpaqueOp;
+
+    fn two_syms(s: &mut Solver) -> (SymId, SymId) {
+        (s.fresh_symbol(), s.fresh_symbol())
+    }
+
+    #[test]
+    fn trivially_sat_empty() {
+        let mut s = Solver::new();
+        assert_eq!(s.check(), SatResult::Sat);
+    }
+
+    #[test]
+    fn constant_contradiction() {
+        let mut s = Solver::new();
+        s.assert_cmp(CmpOp::Eq, Term::int(1), Term::int(2));
+        assert_eq!(s.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn eq_then_ne_same_symbol_unsat() {
+        let mut s = Solver::new();
+        let x = s.fresh_symbol();
+        s.assert_cmp(CmpOp::Eq, Term::sym(x), Term::int(0));
+        s.assert_cmp(CmpOp::Ne, Term::sym(x), Term::int(0));
+        assert_eq!(s.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn null_check_both_branches_infeasible() {
+        // Paper Fig. 9: cfg == NULL (line 2) and cfg->frnd path needs
+        // cfg != NULL — modeled as x == 0 && x != 0.
+        let mut s = Solver::new();
+        let x = s.fresh_symbol();
+        s.assert_cmp(CmpOp::Eq, Term::sym(x), Term::int(0));
+        s.assert_cmp(CmpOp::Gt, Term::sym(x), Term::int(0));
+        assert_eq!(s.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn chain_of_equalities_propagates() {
+        let mut s = Solver::new();
+        let (x, y) = two_syms(&mut s);
+        let z = s.fresh_symbol();
+        s.assert_cmp(CmpOp::Eq, Term::sym(x), Term::sym(y));
+        s.assert_cmp(CmpOp::Eq, Term::sym(y), Term::sym(z));
+        s.assert_cmp(CmpOp::Eq, Term::sym(x), Term::int(3));
+        s.assert_cmp(CmpOp::Eq, Term::sym(z), Term::int(4));
+        assert_eq!(s.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn offset_equalities() {
+        let mut s = Solver::new();
+        let (x, y) = two_syms(&mut s);
+        s.assert_cmp(CmpOp::Eq, Term::sym(x), Term::sym(y).add(Term::int(1)));
+        s.assert_cmp(CmpOp::Lt, Term::sym(x), Term::sym(y));
+        assert_eq!(s.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn satisfiable_interval() {
+        let mut s = Solver::new();
+        let x = s.fresh_symbol();
+        s.assert_cmp(CmpOp::Ge, Term::sym(x), Term::int(0));
+        s.assert_cmp(CmpOp::Lt, Term::sym(x), Term::int(10));
+        assert_eq!(s.check(), SatResult::Sat);
+    }
+
+    #[test]
+    fn empty_interval_unsat() {
+        let mut s = Solver::new();
+        let x = s.fresh_symbol();
+        s.assert_cmp(CmpOp::Gt, Term::sym(x), Term::int(5));
+        s.assert_cmp(CmpOp::Lt, Term::sym(x), Term::int(6));
+        assert_eq!(s.check(), SatResult::Unsat); // no integer in (5,6)
+    }
+
+    #[test]
+    fn diseq_on_pinned_difference() {
+        let mut s = Solver::new();
+        let (x, y) = two_syms(&mut s);
+        s.assert_cmp(CmpOp::Eq, Term::sym(x), Term::sym(y).add(Term::int(2)));
+        s.assert_cmp(CmpOp::Ne, Term::sym(x).sub(Term::sym(y)), Term::int(2));
+        assert_eq!(s.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn diseq_with_slack_sat() {
+        let mut s = Solver::new();
+        let (x, y) = two_syms(&mut s);
+        s.assert_cmp(CmpOp::Le, Term::sym(x), Term::sym(y));
+        s.assert_cmp(CmpOp::Ne, Term::sym(x), Term::sym(y));
+        assert_eq!(s.check(), SatResult::Sat);
+    }
+
+    #[test]
+    fn scaled_coefficient_eq_divisibility() {
+        let mut s = Solver::new();
+        let x = s.fresh_symbol();
+        // 2x == 5 has no integer solution.
+        s.assert_cmp(CmpOp::Eq, Term::sym(x).mul(Term::int(2)), Term::int(5));
+        assert_eq!(s.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn scaled_coefficient_bound() {
+        let mut s = Solver::new();
+        let x = s.fresh_symbol();
+        // 2x <= 5 ⇒ x <= 2; x >= 3 contradicts.
+        s.assert_cmp(CmpOp::Le, Term::sym(x).mul(Term::int(2)), Term::int(5));
+        s.assert_cmp(CmpOp::Ge, Term::sym(x), Term::int(3));
+        assert_eq!(s.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn opaque_congruence_refutes_self_diseq() {
+        let mut s = Solver::new();
+        let (x, y) = two_syms(&mut s);
+        let t1 = Term::opaque(OpaqueOp::Div, Term::sym(x), Term::sym(y));
+        let t2 = Term::opaque(OpaqueOp::Div, Term::sym(x), Term::sym(y));
+        s.assert_cmp(CmpOp::Ne, t1, t2);
+        assert_eq!(s.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn opaque_distinct_args_unknown_not_unsat() {
+        let mut s = Solver::new();
+        let (x, y) = two_syms(&mut s);
+        let t1 = Term::opaque(OpaqueOp::Div, Term::sym(x), Term::int(2));
+        let t2 = Term::opaque(OpaqueOp::Div, Term::sym(y), Term::int(2));
+        s.assert_cmp(CmpOp::Ne, t1, t2);
+        assert_ne!(s.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn nonlinear_is_unknown() {
+        let mut s = Solver::new();
+        let (x, y) = two_syms(&mut s);
+        let z = s.fresh_symbol();
+        // x*y + z > 0 with three symbols — outside the fragment.
+        s.assert_cmp(
+            CmpOp::Gt,
+            Term::sym(x).mul(Term::sym(y)).add(Term::sym(z)).add(Term::sym(x)),
+            Term::int(0),
+        );
+        assert_eq!(s.check(), SatResult::Unknown);
+    }
+
+    #[test]
+    fn transitive_difference_cycle_unsat() {
+        let mut s = Solver::new();
+        let (x, y) = two_syms(&mut s);
+        let z = s.fresh_symbol();
+        s.assert_cmp(CmpOp::Lt, Term::sym(x), Term::sym(y));
+        s.assert_cmp(CmpOp::Lt, Term::sym(y), Term::sym(z));
+        s.assert_cmp(CmpOp::Lt, Term::sym(z), Term::sym(x));
+        assert_eq!(s.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn stats_reported() {
+        let mut s = Solver::new();
+        let x = s.fresh_symbol();
+        s.assert_cmp(CmpOp::Eq, Term::sym(x), Term::int(1));
+        s.assert_cmp(CmpOp::Ne, Term::sym(x), Term::int(2));
+        let (res, stats) = s.check_with_stats();
+        assert_eq!(res, SatResult::Sat);
+        assert_eq!(stats.constraints, 2);
+        assert!(stats.edges >= 2);
+        assert_eq!(stats.disequalities, 1);
+    }
+
+    #[test]
+    fn check_is_repeatable() {
+        let mut s = Solver::new();
+        let x = s.fresh_symbol();
+        s.assert_cmp(CmpOp::Eq, Term::sym(x), Term::int(1));
+        assert_eq!(s.check(), SatResult::Sat);
+        assert_eq!(s.check(), SatResult::Sat);
+        s.assert_cmp(CmpOp::Eq, Term::sym(x), Term::int(2));
+        assert_eq!(s.check(), SatResult::Unsat);
+    }
+}

@@ -1,0 +1,284 @@
+//! `pata` — command-line front-end for the PATA analysis framework.
+//!
+//! ```text
+//! pata analyze <file.c>... [--checkers npd,uva,ml,dl,aiu,dbz,uaf] [--na]
+//!              [--no-validate] [--resolve-fptrs] [--loops N]
+//!              [--threads N] [--json] [--stats]
+//! pata corpus <linux|zephyr|riot|tencent> [--scale F] [--seed N] --out DIR
+//! pata ir <file.c>...
+//! pata fsm
+//! ```
+//!
+//! * `analyze` — run PATA on mini-C source files and print reports.
+//! * `corpus`  — write a generated OS model (and its ground-truth manifest
+//!               as JSON) to a directory, for external tooling.
+//! * `ir`      — dump the lowered PIR of the given sources.
+//! * `fsm`     — print every built-in checker's FSM (paper Table 2/7).
+
+use pata::core::typestate::Checker;
+use pata::core::{AnalysisConfig, BugKind, Pata};
+use pata::corpus::{Corpus, OsProfile};
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "analyze" => cmd_analyze(rest),
+        "corpus" => cmd_corpus(rest),
+        "ir" => cmd_ir(rest),
+        "fsm" => cmd_fsm(),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("pata: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  pata analyze <file.c>... [--checkers LIST] [--na] [--no-validate]
+               [--resolve-fptrs] [--loops N] [--threads N] [--json] [--stats]
+  pata corpus <linux|zephyr|riot|tencent> [--scale F] [--seed N] --out DIR
+  pata ir <file.c>...
+  pata fsm";
+
+/// Splits `args` into flag map and positional arguments.
+fn split_args(args: &[String]) -> Result<(Vec<String>, Vec<(String, Option<String>)>), String> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let takes_value = matches!(
+                name,
+                "checkers" | "loops" | "threads" | "scale" | "seed" | "out"
+            );
+            let value = if takes_value {
+                Some(
+                    it.next()
+                        .ok_or_else(|| format!("--{name} expects a value"))?
+                        .clone(),
+                )
+            } else {
+                None
+            };
+            flags.push((name.to_owned(), value));
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn flag<'a>(flags: &'a [(String, Option<String>)], name: &str) -> Option<&'a Option<String>> {
+    flags.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+}
+
+fn parse_checkers(spec: &str) -> Result<Vec<BugKind>, String> {
+    spec.split(',')
+        .map(|s| match s.trim().to_ascii_lowercase().as_str() {
+            "npd" => Ok(BugKind::NullPointerDeref),
+            "uva" => Ok(BugKind::UninitVarAccess),
+            "ml" => Ok(BugKind::MemoryLeak),
+            "dl" => Ok(BugKind::DoubleLock),
+            "aiu" => Ok(BugKind::ArrayIndexUnderflow),
+            "dbz" => Ok(BugKind::DivisionByZero),
+            "uaf" => Ok(BugKind::UseAfterFree),
+            "all" => Err("use --checkers npd,uva,ml,dl,aiu,dbz,uaf".to_owned()),
+            other => Err(format!("unknown checker `{other}`")),
+        })
+        .collect()
+}
+
+fn compile_files(files: &[String]) -> Result<pata_ir::Module, String> {
+    if files.is_empty() {
+        return Err("no input files".to_owned());
+    }
+    let mut cc = pata::cc::Compiler::new();
+    for f in files {
+        let text =
+            std::fs::read_to_string(f).map_err(|e| format!("cannot read {f}: {e}"))?;
+        cc.add_source(f, &text);
+    }
+    cc.compile().map_err(|diags| {
+        diags.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    })
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let (files, flags) = split_args(args)?;
+    let mut config = AnalysisConfig::default();
+    if let Some(Some(spec)) = flag(&flags, "checkers") {
+        config.checkers = parse_checkers(spec)?;
+    }
+    if flag(&flags, "na").is_some() {
+        config.alias_mode = pata::core::AliasMode::None;
+    }
+    if flag(&flags, "no-validate").is_some() {
+        config.validate_paths = false;
+    }
+    if flag(&flags, "resolve-fptrs").is_some() {
+        config.resolve_fptrs = true;
+    }
+    if let Some(Some(n)) = flag(&flags, "loops") {
+        config.budget.loop_iterations =
+            n.parse().map_err(|_| format!("bad --loops value `{n}`"))?;
+    }
+    if let Some(Some(n)) = flag(&flags, "threads") {
+        config.threads = n.parse().map_err(|_| format!("bad --threads value `{n}`"))?;
+    }
+
+    let module = compile_files(&files)?;
+    let outcome = Pata::new(config).analyze(module);
+
+    if flag(&flags, "json").is_some() {
+        let mut out = String::from("[\n");
+        for (i, r) in outcome.reports.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "  {{\"kind\": \"{}\", \"file\": \"{}\", \"function\": \"{}\", \
+                 \"origin_line\": {}, \"site_line\": {}, \"category\": \"{}\", \
+                 \"message\": \"{}\"}}",
+                r.kind.as_str(),
+                json_escape(&r.file),
+                json_escape(&r.function),
+                r.origin_line,
+                r.site_line,
+                r.category.as_str(),
+                json_escape(&r.message)
+            ));
+        }
+        out.push_str("\n]");
+        println!("{out}");
+    } else {
+        for r in &outcome.reports {
+            println!("{r}");
+        }
+        if outcome.reports.is_empty() {
+            println!("no bugs found");
+        }
+    }
+    if flag(&flags, "stats").is_some() {
+        let s = &outcome.stats;
+        eprintln!("roots: {}  paths: {}  insts: {}", s.roots, s.paths_explored, s.insts_processed);
+        eprintln!(
+            "typestates aware/unaware: {}/{}  constraints aware/unaware: {}/{}",
+            s.typestates_aware, s.typestates_unaware, s.constraints_aware, s.constraints_unaware
+        );
+        eprintln!(
+            "dropped repeated: {}  dropped false: {}  reported: {}  time: {:?}",
+            s.repeated_bugs_dropped, s.false_bugs_dropped, s.reported, s.time
+        );
+    }
+    Ok(())
+}
+
+fn cmd_corpus(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = split_args(args)?;
+    let which = positional.first().map(String::as_str).unwrap_or("zephyr");
+    let mut profile = match which {
+        "linux" => OsProfile::linux(),
+        "zephyr" => OsProfile::zephyr(),
+        "riot" => OsProfile::riot(),
+        "tencent" => OsProfile::tencent(),
+        other => return Err(format!("unknown OS model `{other}`")),
+    };
+    if let Some(Some(s)) = flag(&flags, "scale") {
+        profile = profile.with_scale(s.parse().map_err(|_| format!("bad --scale `{s}`"))?);
+    }
+    if let Some(Some(s)) = flag(&flags, "seed") {
+        profile = profile.with_seed(s.parse().map_err(|_| format!("bad --seed `{s}`"))?);
+    }
+    let Some(Some(out_dir)) = flag(&flags, "out") else {
+        return Err("--out DIR is required".to_owned());
+    };
+
+    let corpus = Corpus::generate(&profile);
+    let root = std::path::Path::new(out_dir);
+    for file in &corpus.files {
+        let path = root.join(&file.path);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+        }
+        std::fs::write(&path, &file.text).map_err(|e| e.to_string())?;
+    }
+    // Ground-truth manifest as JSON.
+    let manifest_path = root.join("manifest.json");
+    let mut f = std::fs::File::create(&manifest_path).map_err(|e| e.to_string())?;
+    writeln!(f, "{{\"bugs\": [").map_err(|e| e.to_string())?;
+    for (i, b) in corpus.manifest.bugs.iter().enumerate() {
+        let comma = if i + 1 == corpus.manifest.bugs.len() { "" } else { "," };
+        writeln!(
+            f,
+            "  {{\"id\": \"{}\", \"file\": \"{}\", \"function\": \"{}\", \"kind\": \"{}\", \
+             \"line\": {}, \"template\": \"{}\"}}{comma}",
+            json_escape(&b.id),
+            json_escape(&b.file),
+            json_escape(&b.function),
+            b.kind.abbrev(),
+            b.line,
+            json_escape(&b.template),
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    writeln!(f, "]}}").map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} files ({} LOC), {} bugs, {} traps -> {}",
+        corpus.files.len(),
+        corpus.loc(),
+        corpus.manifest.bugs.len(),
+        corpus.manifest.traps.len(),
+        out_dir
+    );
+    Ok(())
+}
+
+fn cmd_ir(args: &[String]) -> Result<(), String> {
+    let (files, _) = split_args(args)?;
+    let module = compile_files(&files)?;
+    print!("{}", pata_ir::print_module(&module));
+    Ok(())
+}
+
+fn cmd_fsm() -> Result<(), String> {
+    for kind in BugKind::ALL {
+        let checker = kind.instantiate();
+        let fsm = checker.fsm();
+        println!("{} ({})", kind.as_str(), kind.abbrev());
+        println!("  states: {}", fsm.states.join(", "));
+        println!("  events: {}", fsm.events.join(", "));
+        println!("  bug state: {}", fsm.bug_state);
+    }
+    Ok(())
+}

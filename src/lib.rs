@@ -1,0 +1,19 @@
+//! # pata — umbrella crate for the PATA reproduction
+//!
+//! Re-exports the whole workspace: the PIR intermediate representation
+//! ([`ir`]), the mini-C front-end ([`cc`]), the conjunction SMT solver
+//! ([`smt`]), the PATA analysis framework itself ([`core`]), the baseline
+//! analyzers ([`baselines`]) and the synthetic OS corpus generator
+//! ([`corpus`]).
+//!
+//! See the repository `README.md` for a tour and `DESIGN.md` for the
+//! paper-to-code map.
+
+#![forbid(unsafe_code)]
+
+pub use pata_baselines as baselines;
+pub use pata_cc as cc;
+pub use pata_core as core;
+pub use pata_corpus as corpus;
+pub use pata_ir as ir;
+pub use pata_smt as smt;

@@ -1,0 +1,116 @@
+//! Smoke tests for the `pata` command-line interface.
+
+use std::process::Command;
+
+fn pata() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pata"))
+}
+
+fn write_demo(dir: &std::path::Path) -> std::path::PathBuf {
+    let path = dir.join("demo.c");
+    std::fs::write(
+        &path,
+        r#"
+        struct dev { int *res; };
+        static int probe(struct dev *d) {
+            if (d->res == NULL) { log_warn("x"); }
+            return *d->res;
+        }
+        static struct drv d = { .probe = probe };
+        "#,
+    )
+    .unwrap();
+    path
+}
+
+#[test]
+fn analyze_reports_bug() {
+    let dir = std::env::temp_dir().join("pata_cli_analyze");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = write_demo(&dir);
+    let out = pata().args(["analyze", file.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("null-pointer-dereference"), "{stdout}");
+    assert!(stdout.contains("probe"));
+}
+
+#[test]
+fn analyze_json_is_parseable_shape() {
+    let dir = std::env::temp_dir().join("pata_cli_json");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = write_demo(&dir);
+    let out = pata()
+        .args(["analyze", file.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('['), "{stdout}");
+    assert!(stdout.contains("\"kind\": \"null-pointer-dereference\""));
+    assert!(stdout.trim_end().ends_with(']'));
+}
+
+#[test]
+fn analyze_checker_selection() {
+    let dir = std::env::temp_dir().join("pata_cli_checkers");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = write_demo(&dir);
+    // Only the ML checker: the NPD must not be reported.
+    let out = pata()
+        .args(["analyze", file.to_str().unwrap(), "--checkers", "ml"])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no bugs found"), "{stdout}");
+}
+
+#[test]
+fn bad_input_fails_cleanly() {
+    let out = pata().args(["analyze", "/nonexistent/nope.c"]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"));
+}
+
+#[test]
+fn unknown_command_usage() {
+    let out = pata().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn fsm_lists_all_checkers() {
+    let out = pata().args(["fsm"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for abbrev in ["NPD", "UVA", "ML", "DL", "AIU", "DBZ", "UAF"] {
+        assert!(stdout.contains(abbrev), "missing {abbrev}: {stdout}");
+    }
+}
+
+#[test]
+fn corpus_writes_files_and_manifest() {
+    let dir = std::env::temp_dir().join("pata_cli_corpus");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = pata()
+        .args(["corpus", "tencent", "--scale", "0.15", "--out", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert!(dir.join("manifest.json").exists());
+    let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+    assert!(manifest.contains("\"bugs\""));
+}
+
+#[test]
+fn ir_dump_contains_functions() {
+    let dir = std::env::temp_dir().join("pata_cli_ir");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = write_demo(&dir);
+    let out = pata().args(["ir", file.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fn probe"));
+    assert!(stdout.contains("gep"));
+}

@@ -1,0 +1,269 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! solver — the invariants the whole analysis relies on.
+
+use pata::core::alias::{AliasGraph, Label};
+use pata::smt::{CmpOp, Solver, SymId, Term};
+use pata_ir::{Interner, VarId};
+use proptest::prelude::*;
+
+// ====================================================================
+// Alias-graph invariants
+// ====================================================================
+
+/// The operations of Fig. 5 over a small variable universe.
+#[derive(Debug, Clone)]
+enum Op {
+    Move(u8, u8),
+    Store(u8, u8),
+    Load(u8, u8),
+    Gep(u8, u8, u8),
+    AddrOf(u8, u8),
+    Const(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..12, 0u8..12).prop_map(|(a, b)| Op::Move(a, b)),
+        (0u8..12, 0u8..12).prop_map(|(a, b)| Op::Store(a, b)),
+        (0u8..12, 0u8..12).prop_map(|(a, b)| Op::Load(a, b)),
+        (0u8..12, 0u8..12, 0u8..3).prop_map(|(a, b, f)| Op::Gep(a, b, f)),
+        (0u8..12, 0u8..12).prop_map(|(a, b)| Op::AddrOf(a, b)),
+        (0u8..12).prop_map(Op::Const),
+    ]
+}
+
+fn apply(g: &mut AliasGraph, fields: &[pata_ir::Symbol], op: &Op) {
+    let v = |i: u8| VarId::from_index(i as usize);
+    match op {
+        Op::Move(a, b) => {
+            g.handle_move(v(*a), v(*b));
+        }
+        Op::Store(a, b) => {
+            g.handle_store(v(*a), v(*b));
+        }
+        Op::Load(a, b) => {
+            g.handle_load(v(*a), v(*b));
+        }
+        Op::Gep(a, b, f) => {
+            g.handle_gep(v(*a), v(*b), fields[*f as usize]);
+        }
+        Op::AddrOf(a, b) => {
+            g.handle_addr_of(v(*a), v(*b));
+        }
+        Op::Const(a) => {
+            g.handle_const(v(*a));
+        }
+    }
+}
+
+/// Structural snapshot for rollback comparison.
+fn snapshot(g: &AliasGraph) -> (Vec<Option<usize>>, Vec<Vec<(Label, usize)>>) {
+    let residence: Vec<Option<usize>> =
+        (0..12).map(|i| g.node_of_var(VarId::from_index(i)).map(|n| n.index())).collect();
+    let edges: Vec<Vec<(Label, usize)>> = (0..g.node_count())
+        .map(|i| {
+            let n = g
+                .node_of_var(VarId::from_index(0))
+                .map(|_| ())
+                .map(|_| i)
+                .unwrap_or(i);
+            let node = unsafe_node(g, n);
+            node
+        })
+        .collect();
+    (residence, edges)
+}
+
+fn unsafe_node(g: &AliasGraph, i: usize) -> Vec<(Label, usize)> {
+    // Public API walk: out_edges by NodeId reconstructed through vars is
+    // not possible for var-free nodes, so compare only up to node_count and
+    // residence; edge sets are compared per reachable node.
+    let _ = i;
+    let mut out = Vec::new();
+    for vi in 0..12 {
+        if let Some(n) = g.node_of_var(VarId::from_index(vi)) {
+            if n.index() == i {
+                for (l, t) in g.out_edges(n) {
+                    out.push((*l, t.index()));
+                }
+                break;
+            }
+        }
+    }
+    // Edge order within a node is not semantically meaningful.
+    out.sort_by_key(|(l, t)| (format!("{l:?}"), *t));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Definition 1: at most one outgoing edge per label, and every
+    /// variable resides in exactly one node.
+    #[test]
+    fn alias_graph_structural_invariants(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut interner = Interner::new();
+        let fields = vec![interner.intern("f"), interner.intern("g"), interner.intern("h")];
+        let mut g = AliasGraph::new();
+        for op in &ops {
+            apply(&mut g, &fields, op);
+        }
+        // One residence per var.
+        for i in 0..12 {
+            let v = VarId::from_index(i);
+            if let Some(n) = g.node_of_var(v) {
+                prop_assert!(g.vars(n).contains(&v));
+                // And no other node contains it.
+                let count = (0..g.node_count())
+                    .filter(|&j| {
+                        // reconstruct NodeId via residence check
+                        g.node_of_var(v).map(|n| n.index()) == Some(j)
+                    })
+                    .count();
+                prop_assert_eq!(count, 1);
+            }
+        }
+        // Unique labels per node (checked through every var's node).
+        for i in 0..12 {
+            if let Some(n) = g.node_of_var(VarId::from_index(i)) {
+                let edges = g.out_edges(n);
+                let mut labels: Vec<Label> = edges.iter().map(|(l, _)| *l).collect();
+                let before = labels.len();
+                labels.sort_by_key(|l| format!("{l:?}"));
+                labels.dedup();
+                prop_assert_eq!(before, labels.len(), "duplicate label on a node");
+            }
+        }
+    }
+
+    /// Rollback is an exact inverse of any operation suffix.
+    #[test]
+    fn alias_graph_rollback_is_exact(
+        prefix in prop::collection::vec(op_strategy(), 0..30),
+        suffix in prop::collection::vec(op_strategy(), 1..30),
+    ) {
+        let mut interner = Interner::new();
+        let fields = vec![interner.intern("f"), interner.intern("g"), interner.intern("h")];
+        let mut g = AliasGraph::new();
+        for op in &prefix {
+            apply(&mut g, &fields, op);
+        }
+        let before = snapshot(&g);
+        let nodes_before = g.node_count();
+        let mark = g.mark();
+        for op in &suffix {
+            apply(&mut g, &fields, op);
+        }
+        g.rollback(mark);
+        prop_assert_eq!(g.node_count(), nodes_before);
+        prop_assert_eq!(snapshot(&g), before);
+    }
+
+    /// MOVE really merges alias classes: after `a = b`, both have the same
+    /// node and share every subsequent field access path.
+    #[test]
+    fn move_merges_classes(a in 0u8..6, b in 0u8..6) {
+        prop_assume!(a != b);
+        let mut interner = Interner::new();
+        let f = interner.intern("f");
+        let mut g = AliasGraph::new();
+        let (va, vb) = (VarId::from_index(a as usize), VarId::from_index(b as usize));
+        g.handle_move(va, vb);
+        prop_assert_eq!(g.node_of_var(va), g.node_of_var(vb));
+        let (ta, tb) = (VarId::from_index(6), VarId::from_index(7));
+        let na = g.handle_gep(ta, va, f);
+        let nb = g.handle_gep(tb, vb, f);
+        prop_assert_eq!(na, nb, "field paths of aliases must coincide");
+    }
+}
+
+// ====================================================================
+// Solver soundness
+// ====================================================================
+
+/// Builds constraints that are true under a random concrete assignment;
+/// the conjunction must never be UNSAT.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn satisfiable_systems_never_refuted(
+        values in prop::collection::vec(-50i64..50, 2..8),
+        pairs in prop::collection::vec((0usize..8, 0usize..8), 1..20),
+    ) {
+        let mut solver = Solver::new();
+        let syms: Vec<SymId> = values.iter().map(|_| solver.fresh_symbol()).collect();
+        for (i, j) in pairs {
+            let (i, j) = (i % values.len(), j % values.len());
+            let (vi, vj) = (values[i], values[j]);
+            // Assert the true relation between the two concrete values.
+            let op = if vi == vj {
+                CmpOp::Eq
+            } else if vi < vj {
+                CmpOp::Lt
+            } else {
+                CmpOp::Gt
+            };
+            solver.assert_cmp(op, Term::sym(syms[i]), Term::sym(syms[j]));
+        }
+        // Pin a couple of symbols to their concrete values too.
+        solver.assert_cmp(CmpOp::Eq, Term::sym(syms[0]), Term::int(values[0]));
+        let result = solver.check();
+        prop_assert_ne!(result, pata::smt::SatResult::Unsat);
+    }
+
+    #[test]
+    fn contradiction_always_refuted(v in -100i64..100, delta in 1i64..50) {
+        let mut solver = Solver::new();
+        let x = solver.fresh_symbol();
+        solver.assert_cmp(CmpOp::Eq, Term::sym(x), Term::int(v));
+        solver.assert_cmp(CmpOp::Eq, Term::sym(x), Term::int(v + delta));
+        prop_assert_eq!(solver.check(), pata::smt::SatResult::Unsat);
+    }
+
+    #[test]
+    fn offset_chains_consistent(offsets in prop::collection::vec(-20i64..20, 1..10)) {
+        // x0 = x1 + o1, x1 = x2 + o2, … — then x0 - xn == Σo must hold and
+        // its negation must be refuted.
+        let mut solver = Solver::new();
+        let syms: Vec<SymId> = (0..=offsets.len()).map(|_| solver.fresh_symbol()).collect();
+        for (i, &o) in offsets.iter().enumerate() {
+            solver.assert_cmp(
+                CmpOp::Eq,
+                Term::sym(syms[i]),
+                Term::sym(syms[i + 1]).add(Term::int(o)),
+            );
+        }
+        let total: i64 = offsets.iter().sum();
+        solver.assert_cmp(
+            CmpOp::Ne,
+            Term::sym(syms[0]).sub(Term::sym(*syms.last().unwrap())),
+            Term::int(total),
+        );
+        prop_assert_eq!(solver.check(), pata::smt::SatResult::Unsat);
+    }
+}
+
+// ====================================================================
+// Front-end robustness
+// ====================================================================
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The lexer/parser never panic on arbitrary input — they either parse
+    /// or return a diagnostic.
+    #[test]
+    fn parser_total_on_arbitrary_input(input in "[ -~\\n]{0,200}") {
+        let _ = pata::cc::Parser::parse_source("fuzz.c", &input);
+    }
+
+    /// Any corpus seed produces a compiling, verifying module.
+    #[test]
+    fn corpus_compiles_for_any_seed(seed in 0u64..1_000_000) {
+        let profile = pata::corpus::OsProfile::tencent().with_scale(0.12).with_seed(seed);
+        let corpus = pata::corpus::Corpus::generate(&profile);
+        let module = corpus.compile().expect("generated corpus compiles");
+        prop_assert!(pata_ir::verify_module(&module).is_ok());
+    }
+}
