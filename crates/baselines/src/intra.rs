@@ -137,7 +137,11 @@ impl IntraPatternAnalyzer {
         let mut reported: HashSet<VarId> = HashSet::new();
         for &b in rpo.order() {
             for inst in &func.block(b).insts {
-                if let InstKind::Alloca { dst, storage: false } = &inst.kind {
+                if let InstKind::Alloca {
+                    dst,
+                    storage: false,
+                } = &inst.kind
+                {
                     declared.insert(*dst, inst.loc.line);
                     continue;
                 }
@@ -155,10 +159,7 @@ impl IntraPatternAnalyzer {
                             site_line: inst.loc.line,
                             category: func.category(),
                             alias_paths: Vec::new(),
-                            message: format!(
-                                "`{}` may be used uninitialized",
-                                module.var(u).name
-                            ),
+                            message: format!("`{}` may be used uninitialized", module.var(u).name),
                         });
                     }
                 }
@@ -204,7 +205,10 @@ impl IntraPatternAnalyzer {
                     InstKind::Free { ptr } => {
                         released.insert(keys.get(ptr).cloned().unwrap_or_default());
                     }
-                    InstKind::Store { val: Operand::Var(v), .. } => {
+                    InstKind::Store {
+                        val: Operand::Var(v),
+                        ..
+                    } => {
                         released.insert(keys.get(v).cloned().unwrap_or_default());
                     }
                     InstKind::Call { args, .. } => {
@@ -274,22 +278,22 @@ mod tests {
 
     #[test]
     fn npd_field_check_then_deref_same_function() {
-        let reports = run(
-            r#"
+        let reports = run(r#"
             struct dev { int *res; };
             int f(struct dev *d) {
                 if (d->res == NULL) { }
                 return *d->res;
             }
-            "#,
+            "#);
+        assert!(
+            kinds(&reports).contains(&BugKind::NullPointerDeref),
+            "{reports:?}"
         );
-        assert!(kinds(&reports).contains(&BugKind::NullPointerDeref), "{reports:?}");
     }
 
     #[test]
     fn npd_misses_cross_function_bug() {
-        let reports = run(
-            r#"
+        let reports = run(r#"
             struct cfg_t { int frnd; };
             struct model_t { struct cfg_t *user_data; };
             void send_status(struct model_t *model) {
@@ -302,8 +306,7 @@ mod tests {
                     send_status(model);
                 }
             }
-            "#,
-        );
+            "#);
         assert!(
             !kinds(&reports).contains(&BugKind::NullPointerDeref),
             "intraprocedural tools miss the Fig. 3 bug: {reports:?}"
@@ -320,52 +323,58 @@ mod tests {
     fn uva_out_param_is_false_positive() {
         // The init happens through &v in the callee — invisible without
         // alias analysis, so this tool family reports a false positive.
-        let reports = run(
-            r#"
+        let reports = run(r#"
             void fill(int *out) { *out = 5; }
             int f(void) {
                 int v;
                 fill(&v);
                 return v;
             }
-            "#,
+            "#);
+        assert!(
+            kinds(&reports).contains(&BugKind::UninitVarAccess),
+            "{reports:?}"
         );
-        assert!(kinds(&reports).contains(&BugKind::UninitVarAccess), "{reports:?}");
     }
 
     #[test]
     fn ml_never_freed_found() {
-        let reports = run(
-            r#"
+        let reports = run(r#"
             void f(void) {
                 int *p = malloc(8);
                 *p = 1;
             }
-            "#,
+            "#);
+        assert!(
+            kinds(&reports).contains(&BugKind::MemoryLeak),
+            "{reports:?}"
         );
-        assert!(kinds(&reports).contains(&BugKind::MemoryLeak), "{reports:?}");
     }
 
     #[test]
     fn ml_error_path_leak_missed() {
         // Free exists on the happy path — the path-insensitive scan sees
         // "freed somewhere" and misses the error-path leak PATA finds.
-        let reports = run(
-            r#"
+        let reports = run(r#"
             int f(int n) {
                 int *p = malloc(8);
                 if (n < 0) { return -1; }
                 free(p);
                 return 0;
             }
-            "#,
+            "#);
+        assert!(
+            !kinds(&reports).contains(&BugKind::MemoryLeak),
+            "{reports:?}"
         );
-        assert!(!kinds(&reports).contains(&BugKind::MemoryLeak), "{reports:?}");
     }
 
     #[test]
     fn ml_returned_not_reported() {
         let reports = run("int *f(void) { int *p = malloc(8); return p; }");
-        assert!(!kinds(&reports).contains(&BugKind::MemoryLeak), "{reports:?}");
+        assert!(
+            !kinds(&reports).contains(&BugKind::MemoryLeak),
+            "{reports:?}"
+        );
     }
 }

@@ -23,7 +23,9 @@ impl PataNaAnalyzer {
     /// Creates PATA-NA with a custom base configuration; the alias mode is
     /// forced off regardless.
     pub fn with_config(config: AnalysisConfig) -> Self {
-        PataNaAnalyzer { config: Some(config) }
+        PataNaAnalyzer {
+            config: Some(config),
+        }
     }
 }
 
@@ -72,7 +74,10 @@ mod tests {
 
         let pata = Pata::new(AnalysisConfig::default()).analyze(module.clone());
         assert!(
-            !pata.reports.iter().any(|r| r.kind == BugKind::NullPointerDeref),
+            !pata
+                .reports
+                .iter()
+                .any(|r| r.kind == BugKind::NullPointerDeref),
             "PATA should drop it: {:?}",
             pata.reports
         );

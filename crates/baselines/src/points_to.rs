@@ -39,7 +39,9 @@ impl PointsTo {
     /// The points-to set of `v` (empty if never constrained — the D1 case).
     pub fn pts(&self, v: VarId) -> &BTreeSet<AbsObj> {
         static EMPTY: std::sync::OnceLock<BTreeSet<AbsObj>> = std::sync::OnceLock::new();
-        self.pts.get(&v).unwrap_or_else(|| EMPTY.get_or_init(BTreeSet::new))
+        self.pts
+            .get(&v)
+            .unwrap_or_else(|| EMPTY.get_or_init(BTreeSet::new))
     }
 
     /// Whether two variables may alias: their points-to sets intersect.
@@ -60,8 +62,8 @@ impl PointsTo {
         #[derive(Debug)]
         enum C {
             Addr(VarId, AbsObj),
-            Copy(VarId, VarId), // pts(dst) ⊇ pts(src)
-            Load(VarId, VarId), // p = *q
+            Copy(VarId, VarId),  // pts(dst) ⊇ pts(src)
+            Load(VarId, VarId),  // p = *q
             Store(VarId, VarId), // *q = p  (q, p)
         }
         let mut cons = Vec::new();
@@ -93,7 +95,11 @@ impl PointsTo {
                         InstKind::Gep { dst, base, .. } | InstKind::Index { dst, base, .. } => {
                             cons.push(C::Copy(*dst, *base));
                         }
-                        InstKind::Call { dst, callee: Callee::Direct(f), args } => {
+                        InstKind::Call {
+                            dst,
+                            callee: Callee::Direct(f),
+                            args,
+                        } => {
                             let params = module.function(*f).params().to_vec();
                             for (i, p) in params.iter().enumerate() {
                                 if let Some(Operand::Var(a)) = args.get(i) {
@@ -126,16 +132,22 @@ impl PointsTo {
                         changed |= solution.pts.entry(*p).or_default().insert(*o);
                     }
                     C::Copy(dst, src) => {
-                        let add: Vec<AbsObj> =
-                            solution.pts.get(src).map(|s| s.iter().copied().collect()).unwrap_or_default();
+                        let add: Vec<AbsObj> = solution
+                            .pts
+                            .get(src)
+                            .map(|s| s.iter().copied().collect())
+                            .unwrap_or_default();
                         let set = solution.pts.entry(*dst).or_default();
                         for o in add {
                             changed |= set.insert(o);
                         }
                     }
                     C::Load(p, q) => {
-                        let objs: Vec<AbsObj> =
-                            solution.pts.get(q).map(|s| s.iter().copied().collect()).unwrap_or_default();
+                        let objs: Vec<AbsObj> = solution
+                            .pts
+                            .get(q)
+                            .map(|s| s.iter().copied().collect())
+                            .unwrap_or_default();
                         let mut add = Vec::new();
                         for o in objs {
                             if let Some(cs) = solution.contents.get(&o) {
@@ -148,10 +160,16 @@ impl PointsTo {
                         }
                     }
                     C::Store(q, p) => {
-                        let objs: Vec<AbsObj> =
-                            solution.pts.get(q).map(|s| s.iter().copied().collect()).unwrap_or_default();
-                        let vals: Vec<AbsObj> =
-                            solution.pts.get(p).map(|s| s.iter().copied().collect()).unwrap_or_default();
+                        let objs: Vec<AbsObj> = solution
+                            .pts
+                            .get(q)
+                            .map(|s| s.iter().copied().collect())
+                            .unwrap_or_default();
+                        let vals: Vec<AbsObj> = solution
+                            .pts
+                            .get(p)
+                            .map(|s| s.iter().copied().collect())
+                            .unwrap_or_default();
                         for o in objs {
                             let set = solution.contents.entry(o).or_default();
                             for v in &vals {
@@ -243,7 +261,10 @@ mod tests {
         let pt = PointsTo::analyze(&m);
         let d = var(&m, "my_probe", "d");
         let r = var(&m, "my_probe", "r");
-        assert!(pt.pts(d).is_empty(), "interface parameter must have empty pts");
+        assert!(
+            pt.pts(d).is_empty(),
+            "interface parameter must have empty pts"
+        );
         assert!(pt.pts(r).is_empty());
         assert!(!pt.may_alias(d, r));
     }

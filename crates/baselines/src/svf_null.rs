@@ -70,13 +70,21 @@ pub(crate) fn null_evidence(func: &Function) -> Vec<(VarId, BlockId, u32)> {
                         }
                     }
                 }
-                InstKind::Const { dst, value: ConstVal::Null } => {
+                InstKind::Const {
+                    dst,
+                    value: ConstVal::Null,
+                } => {
                     out.push((*dst, BlockId::from_index(bi), inst.loc.line));
                 }
                 _ => {}
             }
         }
-        if let Terminator::Branch { cond, then_bb, else_bb } = &block.term {
+        if let Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        } = &block.term
+        {
             if let Some(&(var, null_on_true)) = cond_null.get(cond) {
                 let null_block = if null_on_true { *then_bb } else { *else_bb };
                 out.push((var, null_block, block.term_loc.line));
@@ -164,27 +172,23 @@ mod tests {
 
     #[test]
     fn same_variable_check_then_deref_found() {
-        let reports = run(
-            r#"
+        let reports = run(r#"
             int f(int *p) {
                 if (p == NULL) { }
                 return *p;
             }
-            "#,
-        );
+            "#);
         assert!(!reports.is_empty());
     }
 
     #[test]
     fn guarded_deref_not_reported() {
-        let reports = run(
-            r#"
+        let reports = run(r#"
             int f(int *p) {
                 if (p == NULL) { return -1; }
                 return *p;
             }
-            "#,
-        );
+            "#);
         assert!(reports.is_empty(), "{reports:?}");
     }
 
@@ -192,8 +196,7 @@ mod tests {
     fn misses_interface_alias_bug_d1() {
         // Fig. 3 shape: the alias flows through the interface parameter's
         // field — empty points-to sets hide it.
-        let reports = run(
-            r#"
+        let reports = run(r#"
             struct cfg_t { int frnd; };
             struct model_t { struct cfg_t *user_data; };
             static void send_status(struct model_t *model) {
@@ -207,8 +210,7 @@ mod tests {
                 }
             }
             static struct ops bt_ops = { .set = friend_set };
-            "#,
-        );
+            "#);
         assert!(
             reports.is_empty(),
             "points-to-based analysis must miss the D1 alias bug: {reports:?}"
@@ -219,8 +221,7 @@ mod tests {
     fn reports_infeasible_path_fp() {
         // `p` is reassigned before the deref — flow-insensitive evidence
         // still fires: a false positive PATA would not produce.
-        let reports = run(
-            r#"
+        let reports = run(r#"
             int f(int c) {
                 int x = 5;
                 int *p = NULL;
@@ -230,8 +231,7 @@ mod tests {
                 }
                 return 0;
             }
-            "#,
-        );
+            "#);
         assert!(!reports.is_empty(), "expected the flow-insensitive FP");
     }
 }

@@ -50,7 +50,10 @@ impl Analyzer for ValueFlowLeakAnalyzer {
                         InstKind::Free { ptr } => {
                             freed.insert(*ptr);
                         }
-                        InstKind::Store { addr, val: Operand::Var(v) } => {
+                        InstKind::Store {
+                            addr,
+                            val: Operand::Var(v),
+                        } => {
                             if module.var(*v).ty.is_pointer() {
                                 escaped.insert(*v);
                             }
@@ -141,9 +144,7 @@ impl Analyzer for ValueFlowLeakAnalyzer {
                     site_line: line,
                     category: func.category(),
                     alias_paths: Vec::new(),
-                    message: format!(
-                        "allocation at line {line} never reaches a free (value-flow)"
-                    ),
+                    message: format!("allocation at line {line} never reaches a free (value-flow)"),
                 });
             }
         }
@@ -157,7 +158,11 @@ fn module_is_root(module: &Module, f: pata_ir::FuncId) -> bool {
     for func in module.functions() {
         for block in func.blocks() {
             for inst in &block.insts {
-                if let InstKind::Call { callee: Callee::Direct(t), .. } = &inst.kind {
+                if let InstKind::Call {
+                    callee: Callee::Direct(t),
+                    ..
+                } = &inst.kind
+                {
                     if *t == f {
                         return false;
                     }
@@ -186,12 +191,10 @@ mod tests {
 
     #[test]
     fn freed_through_callee_not_reported() {
-        let reports = run(
-            r#"
+        let reports = run(r#"
             void release(int *b) { free(b); }
             void f(void) { int *p = malloc(8); release(p); }
-            "#,
-        );
+            "#);
         assert!(reports.is_empty(), "{reports:?}");
     }
 
@@ -199,16 +202,14 @@ mod tests {
     fn error_path_leak_missed() {
         // Path-insensitive: the happy-path free marks the source safe, so
         // the error-path leak (which PATA reports) is missed.
-        let reports = run(
-            r#"
+        let reports = run(r#"
             int f(int n) {
                 int *p = malloc(8);
                 if (n < 0) { return -1; }
                 free(p);
                 return 0;
             }
-            "#,
-        );
+            "#);
         assert!(reports.is_empty(), "{reports:?}");
     }
 
@@ -220,12 +221,10 @@ mod tests {
 
     #[test]
     fn stored_pointer_escapes() {
-        let reports = run(
-            r#"
+        let reports = run(r#"
             struct dev { int *buf; };
             void f(struct dev *d) { int *p = malloc(8); d->buf = p; }
-            "#,
-        );
+            "#);
         assert!(reports.is_empty(), "{reports:?}");
     }
 }

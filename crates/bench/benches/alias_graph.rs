@@ -1,44 +1,40 @@
-//! Criterion micro-benchmarks for the alias graph: the Fig. 5 update rules
-//! and the journal rollback that gives each path its own graph.
+//! Micro-benchmarks for the alias graph: the Fig. 5 update rules and the
+//! journal rollback that gives each path its own graph.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pata_bench::harness::{bench, hold};
 use pata_core::alias::AliasGraph;
 use pata_ir::{Interner, VarId};
 
-fn bench_updates(c: &mut Criterion) {
+fn main() {
     let mut interner = Interner::new();
     let fields: Vec<_> = (0..8).map(|i| interner.intern(&format!("f{i}"))).collect();
 
-    c.bench_function("alias_graph/move_chain_100", |b| {
-        b.iter(|| {
-            let mut g = AliasGraph::new();
-            for i in 1..100usize {
-                g.handle_move(VarId::from_index(i), VarId::from_index(i - 1));
-            }
-            black_box(g.node_count())
-        })
+    bench("alias_graph/move_chain_100", || {
+        let mut g = AliasGraph::new();
+        for i in 1..100usize {
+            g.handle_move(VarId::from_index(i), VarId::from_index(i - 1));
+        }
+        hold(g.node_count())
     });
 
-    c.bench_function("alias_graph/gep_load_tree_100", |b| {
-        b.iter(|| {
-            let mut g = AliasGraph::new();
-            for i in 0..100usize {
-                let base = VarId::from_index(i % 10);
-                let t = VarId::from_index(100 + i);
-                let r = VarId::from_index(300 + i);
-                g.handle_gep(t, base, fields[i % fields.len()]);
-                g.handle_load(r, t);
-            }
-            black_box(g.node_count())
-        })
+    bench("alias_graph/gep_load_tree_100", || {
+        let mut g = AliasGraph::new();
+        for i in 0..100usize {
+            let base = VarId::from_index(i % 10);
+            let t = VarId::from_index(100 + i);
+            let r = VarId::from_index(300 + i);
+            g.handle_gep(t, base, fields[i % fields.len()]);
+            g.handle_load(r, t);
+        }
+        hold(g.node_count())
     });
 
-    c.bench_function("alias_graph/mark_rollback_50ops", |b| {
+    {
         let mut g = AliasGraph::new();
         for i in 1..40usize {
             g.handle_move(VarId::from_index(i), VarId::from_index(i - 1));
         }
-        b.iter(|| {
+        bench("alias_graph/mark_rollback_50ops", || {
             let mark = g.mark();
             for i in 0..50usize {
                 g.handle_gep(
@@ -48,20 +44,19 @@ fn bench_updates(c: &mut Criterion) {
                 );
             }
             g.rollback(mark);
-            black_box(g.node_count())
-        })
-    });
+            hold(g.node_count())
+        });
+    }
 
-    c.bench_function("alias_graph/access_paths", |b| {
+    {
         let mut g = AliasGraph::new();
         for i in 1..20usize {
             g.handle_move(VarId::from_index(i), VarId::from_index(0));
         }
         let t = VarId::from_index(50);
         let n = g.handle_gep(t, VarId::from_index(0), fields[0]);
-        b.iter(|| black_box(g.access_paths(n, 2).len()))
-    });
+        bench("alias_graph/access_paths", || {
+            hold(g.access_paths(n, 2).len())
+        });
+    }
 }
-
-criterion_group!(benches, bench_updates);
-criterion_main!(benches);

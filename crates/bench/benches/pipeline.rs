@@ -2,47 +2,44 @@
 //! analysis (alias-aware vs PATA-NA — the Table 6 time comparison), and
 //! validation, on a fixed small corpus.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pata_bench::harness::{bench, hold};
 use pata_core::{AnalysisConfig, Pata};
 use pata_corpus::{Corpus, OsProfile};
 
-fn bench_pipeline(c: &mut Criterion) {
+fn main() {
     let profile = OsProfile::tencent().with_scale(0.15);
     let corpus = Corpus::generate(&profile);
 
-    c.bench_function("pipeline/compile_corpus", |b| {
-        b.iter(|| black_box(corpus.compile().unwrap().functions().len()))
+    bench("pipeline/compile_corpus", || {
+        hold(corpus.compile().unwrap().functions().len())
     });
 
     let module = corpus.compile().unwrap();
-    c.bench_function("pipeline/analyze_alias_aware", |b| {
-        b.iter(|| {
-            let out = Pata::new(AnalysisConfig { threads: 1, ..AnalysisConfig::default() })
-                .analyze(module.clone());
-            black_box(out.reports.len())
+    bench("pipeline/analyze_alias_aware", || {
+        let out = Pata::new(AnalysisConfig {
+            threads: 1,
+            ..AnalysisConfig::default()
         })
+        .analyze(module.clone());
+        hold(out.reports.len())
     });
 
-    c.bench_function("pipeline/analyze_pata_na", |b| {
-        b.iter(|| {
-            let out = Pata::new(AnalysisConfig { threads: 1, ..AnalysisConfig::without_alias() })
-                .analyze(module.clone());
-            black_box(out.reports.len())
+    bench("pipeline/analyze_pata_na", || {
+        let out = Pata::new(AnalysisConfig {
+            threads: 1,
+            ..AnalysisConfig::without_alias()
         })
+        .analyze(module.clone());
+        hold(out.reports.len())
     });
 
-    c.bench_function("pipeline/analyze_no_validation", |b| {
-        b.iter(|| {
-            let out = Pata::new(AnalysisConfig {
-                threads: 1,
-                validate_paths: false,
-                ..AnalysisConfig::default()
-            })
-            .analyze(module.clone());
-            black_box(out.reports.len())
+    bench("pipeline/analyze_no_validation", || {
+        let out = Pata::new(AnalysisConfig {
+            threads: 1,
+            validate_paths: false,
+            ..AnalysisConfig::default()
         })
+        .analyze(module.clone());
+        hold(out.reports.len())
     });
 }
-
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);

@@ -22,7 +22,10 @@ fn main() {
         ("no-alias", AnalysisConfig::without_alias()),
         (
             "no-validation",
-            AnalysisConfig { validate_paths: false, ..AnalysisConfig::default() },
+            AnalysisConfig {
+                validate_paths: false,
+                ..AnalysisConfig::default()
+            },
         ),
         ("loops=2", {
             let mut c = AnalysisConfig::default();
@@ -31,7 +34,10 @@ fn main() {
         }),
         (
             "resolve-fptrs",
-            AnalysisConfig { resolve_fptrs: true, ..AnalysisConfig::default() },
+            AnalysisConfig {
+                resolve_fptrs: true,
+                ..AnalysisConfig::default()
+            },
         ),
     ];
 

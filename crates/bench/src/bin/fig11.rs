@@ -14,7 +14,10 @@ fn main() {
     println!("Figure 11: Distribution of the found real bugs (scale {scale})");
 
     // (a) Linux.
-    let linux = run_profile(&OsProfile::linux().with_scale(scale), AnalysisConfig::default());
+    let linux = run_profile(
+        &OsProfile::linux().with_scale(scale),
+        AnalysisConfig::default(),
+    );
     println!("\n(a) Linux");
     rule(54);
     let total: usize = linux.score.real_by_category.iter().map(|(_, n)| n).sum();
@@ -48,7 +51,11 @@ fn main() {
     rule(54);
     let total: usize = iot.iter().map(|(_, n)| n).sum();
     for cat in Category::ALL {
-        let n = iot.iter().find(|(c, _)| *c == cat).map(|(_, n)| *n).unwrap_or(0);
+        let n = iot
+            .iter()
+            .find(|(c, _)| *c == cat)
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
         if n > 0 {
             let pct = 100.0 * n as f64 / total.max(1) as f64;
             println!("{:<14} {:>5}  {:>5.1}%  {}", cat.as_str(), n, pct, bar(pct));

@@ -34,6 +34,7 @@ fn main() {
     let mut tot_cs = (0u64, 0u64);
     let mut tot_found = 0usize;
     let mut tot_real = 0usize;
+    let mut runs = Vec::new();
     for profile in OsProfile::all() {
         let p = profile.with_scale(scale);
         let run = run_profile(&p, AnalysisConfig::default());
@@ -59,8 +60,33 @@ fn main() {
             kind_cell(&run.score, "real"),
             fmt_time(run.seconds)
         );
+        runs.push((p.name, run));
     }
     rule(126);
+
+    // Stage-2 validation performance: canonical-key cache and incremental
+    // scope reuse (see DESIGN.md "Performance architecture").
+    println!();
+    println!("Stage-2 validation (cache + incremental solver):");
+    println!(
+        "{:<16} {:>10} {:>10} {:>9} {:>12} {:>10}",
+        "OS", "CacheHit", "CacheMiss", "HitRate", "ScopeReuse", "Steals"
+    );
+    rule(72);
+    for (name, run) in &runs {
+        let s = &run.outcome.stats;
+        let lookups = (s.validation_cache_hits + s.validation_cache_misses).max(1);
+        println!(
+            "{:<16} {:>10} {:>10} {:>8.1}% {:>12} {:>10}",
+            name,
+            s.validation_cache_hits,
+            s.validation_cache_misses,
+            100.0 * s.validation_cache_hits as f64 / lookups as f64,
+            s.validation_scope_reuse,
+            s.work_steals,
+        );
+    }
+    rule(72);
     let ts_drop = 100.0 * (1.0 - tot_ts.0 as f64 / tot_ts.1.max(1) as f64);
     let cs_drop = 100.0 * (1.0 - tot_cs.0 as f64 / tot_cs.1.max(1) as f64);
     let fp_rate = 100.0 * (1.0 - tot_real as f64 / tot_found.max(1) as f64);

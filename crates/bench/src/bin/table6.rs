@@ -36,8 +36,12 @@ fn main() {
     rule(92);
     println!(
         "PATA finds {} real bugs missed by PATA-NA (paper: 260); NA-only real bugs: {}",
-        pata.score.total_real().saturating_sub(na.score.total_real()),
-        na.score.total_real().saturating_sub(pata.score.total_real().min(na.score.total_real()))
+        pata.score
+            .total_real()
+            .saturating_sub(na.score.total_real()),
+        na.score
+            .total_real()
+            .saturating_sub(pata.score.total_real().min(na.score.total_real()))
     );
     println!("Paper reference: PATA-NA found 620 / real 194 (FP 69%), PATA found 627 / real 454 (FP 28%)");
 }

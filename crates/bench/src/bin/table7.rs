@@ -24,7 +24,11 @@ fn main() {
     println!("{:<26} {:>12} {:>12}", "Bug type", "Found", "Real");
     rule(70);
     let mut tot = (0, 0);
-    for kind in [BugKind::DoubleLock, BugKind::ArrayIndexUnderflow, BugKind::DivisionByZero] {
+    for kind in [
+        BugKind::DoubleLock,
+        BugKind::ArrayIndexUnderflow,
+        BugKind::DivisionByZero,
+    ] {
         let f = run.score.found_of(kind);
         let r = run.score.real_of(kind);
         tot.0 += f;

@@ -26,19 +26,39 @@ fn main() {
     for profile in OsProfile::all() {
         let p = profile.with_scale(scale);
         let pata = run_profile(&p, AnalysisConfig::default());
-        print_row(p.name, "PATA", pata.score.total_found(), pata.score.total_real(), pata.score.false_positives, pata.seconds);
+        print_row(
+            p.name,
+            "PATA",
+            pata.score.total_found(),
+            pata.score.total_real(),
+            pata.score.false_positives,
+            pata.seconds,
+        );
         for b in &baselines {
             let (score, secs) = run_baseline(&pata.corpus, b.as_ref());
-            print_row("", b.name(), score.total_found(), score.total_real(), score.false_positives, secs);
+            print_row(
+                "",
+                b.name(),
+                score.total_found(),
+                score.total_real(),
+                score.false_positives,
+                secs,
+            );
         }
         rule(100);
     }
-    println!("Paper reference (Linux): PATA 627/454; Cppcheck 324/51; Smatch 423/110; CSA 1151/196");
+    println!(
+        "Paper reference (Linux): PATA 627/454; Cppcheck 324/51; Smatch 423/110; CSA 1151/196"
+    );
     println!("Paper reference (IoT):   PATA finds 24/67/29 real; Infer 1/10/4; Saber 0/2/0; SVF-Null 0/1/3");
 }
 
 fn print_row(os: &str, tool: &str, found: usize, real: usize, fps: usize, secs: f64) {
-    let rate = if found == 0 { 0.0 } else { 100.0 * (found - real) as f64 / found as f64 };
+    let rate = if found == 0 {
+        0.0
+    } else {
+        100.0 * (found - real) as f64 / found as f64
+    };
     println!(
         "{:<16} {:<14} {:>10} {:>10} {:>10} {:>9.1}% {:>10}",
         os,

@@ -1,0 +1,117 @@
+//! A small self-contained micro-benchmark harness (no external crates):
+//! calibrates an iteration count per benchmark, takes several samples and
+//! prints the best and average time per iteration.
+//!
+//! Used by the `benches/*.rs` targets (`cargo bench`). Not statistics-grade
+//! — it exists to show relative costs and catch order-of-magnitude
+//! regressions offline.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock per measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(40);
+/// Samples taken after calibration.
+const SAMPLES: usize = 5;
+
+/// Re-export so benches can `use pata_bench::harness::hold;` values out of
+/// the optimizer's reach.
+pub use std::hint::black_box as hold;
+
+/// One timed result.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Best observed nanoseconds per iteration.
+    pub best_ns: f64,
+    /// Mean nanoseconds per iteration over all samples.
+    pub avg_ns: f64,
+    /// Iterations per sample after calibration.
+    pub iters: u64,
+}
+
+/// Runs `f` repeatedly, prints `name  <best> ns/iter (avg <avg>)` and
+/// returns the measurement.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Measurement {
+    // Calibrate: double the batch size until one batch is long enough to
+    // time reliably.
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= SAMPLE_TARGET || iters >= 1 << 24 {
+            break;
+        }
+        iters = if elapsed.is_zero() {
+            iters * 16
+        } else {
+            let scale = SAMPLE_TARGET.as_secs_f64() / elapsed.as_secs_f64();
+            (iters as f64 * scale.clamp(1.5, 16.0)).ceil() as u64
+        };
+    }
+
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let per = start.elapsed().as_nanos() as f64 / iters as f64;
+        best = best.min(per);
+        total += per;
+    }
+    let m = Measurement {
+        best_ns: best,
+        avg_ns: total / SAMPLES as f64,
+        iters,
+    };
+    println!(
+        "{name:<44} {:>14} ns/iter   (avg {})",
+        fmt_ns(m.best_ns),
+        fmt_ns(m.avg_ns)
+    );
+    m
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}")
+    }
+}
+
+/// Times one execution of `f`, returning (result, seconds).
+pub fn time_once<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_something() {
+        let m = bench("harness/self_test", || (0..100u64).sum::<u64>());
+        assert!(m.best_ns > 0.0);
+        assert!(m.iters >= 1);
+        assert!(m.avg_ns >= m.best_ns);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(12.0), "12");
+        assert_eq!(fmt_ns(1500.0), "1.5us");
+        assert_eq!(fmt_ns(2_500_000.0), "2.50ms");
+        assert_eq!(fmt_ns(3e9), "3.00s");
+    }
+}

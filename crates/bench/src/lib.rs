@@ -13,11 +13,13 @@
 //!
 //! Every binary accepts `--scale <f64>` (default 0.5) to size the generated
 //! corpus, and prints machine-readable rows followed by the paper's
-//! reference values for shape comparison. Criterion micro-benches live in
-//! `benches/`.
+//! reference values for shape comparison. Micro-benches (run with
+//! `cargo bench`, no external harness) live in `benches/`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use pata_baselines::Analyzer;
 use pata_core::{AnalysisConfig, AnalysisOutcome, BugKind, Pata};
@@ -54,7 +56,12 @@ pub fn run_profile(profile: &OsProfile, config: AnalysisConfig) -> ProfileRun {
     let outcome = Pata::new(config).analyze(module);
     let seconds = start.elapsed().as_secs_f64();
     let score = corpus.manifest.score(&outcome.reports);
-    ProfileRun { corpus, outcome, score, seconds }
+    ProfileRun {
+        corpus,
+        outcome,
+        score,
+        seconds,
+    }
 }
 
 /// Runs a baseline analyzer on an existing corpus, returning its score and
@@ -104,7 +111,10 @@ mod tests {
     fn tiny_profile_end_to_end() {
         let run = run_profile(
             &OsProfile::tencent().with_scale(0.3),
-            AnalysisConfig { threads: 1, ..AnalysisConfig::default() },
+            AnalysisConfig {
+                threads: 1,
+                ..AnalysisConfig::default()
+            },
         );
         assert!(run.score.total_found() > 0, "PATA should report something");
         assert!(

@@ -40,13 +40,22 @@ pub struct Diag {
 impl Diag {
     /// Creates a diagnostic.
     pub fn new(kind: DiagKind, file: &str, line: u32, message: impl Into<String>) -> Self {
-        Diag { kind, file: file.to_owned(), line, message: message.into() }
+        Diag {
+            kind,
+            file: file.to_owned(),
+            line,
+            message: message.into(),
+        }
     }
 }
 
 impl fmt::Display for Diag {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: {} error: {}", self.file, self.line, self.kind, self.message)
+        write!(
+            f,
+            "{}:{}: {} error: {}",
+            self.file, self.line, self.kind, self.message
+        )
     }
 }
 

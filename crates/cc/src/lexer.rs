@@ -28,7 +28,12 @@ pub struct Lexer<'s> {
 impl<'s> Lexer<'s> {
     /// Creates a lexer over `source`, attributing diagnostics to `file`.
     pub fn new(file: &str, source: &'s str) -> Self {
-        Lexer { file: file.to_owned(), src: source.as_bytes(), pos: 0, line: 1 }
+        Lexer {
+            file: file.to_owned(),
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
     }
 
     fn peek(&self) -> u8 {
@@ -343,7 +348,12 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        Lexer::new("t.c", src).lex().unwrap().into_iter().map(|t| t.kind).collect()
+        Lexer::new("t.c", src)
+            .lex()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -389,14 +399,26 @@ mod tests {
         let ks = kinds("42 0x1f 7UL");
         assert_eq!(
             ks,
-            vec![TokenKind::Int(42), TokenKind::Int(31), TokenKind::Int(7), TokenKind::Eof]
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Int(31),
+                TokenKind::Int(7),
+                TokenKind::Eof
+            ]
         );
     }
 
     #[test]
     fn comments_and_preprocessor_skipped() {
         let ks = kinds("#include <x.h>\n// line\nint /* block\nspanning */ x");
-        assert_eq!(ks, vec![TokenKind::KwInt, TokenKind::Ident("x".into()), TokenKind::Eof]);
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::KwInt,
+                TokenKind::Ident("x".into()),
+                TokenKind::Eof
+            ]
+        );
     }
 
     #[test]
@@ -409,7 +431,14 @@ mod tests {
     #[test]
     fn string_and_char_literals() {
         let ks = kinds(r#""hi\n" 'a'"#);
-        assert_eq!(ks, vec![TokenKind::Str("hi\n".into()), TokenKind::Int(97), TokenKind::Eof]);
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Str("hi\n".into()),
+                TokenKind::Int(97),
+                TokenKind::Eof
+            ]
+        );
     }
 
     #[test]

@@ -50,7 +50,8 @@ impl Compiler {
 
     /// Adds a source file with an explicit category.
     pub fn add_source_with_category(&mut self, name: &str, text: &str, category: Category) {
-        self.sources.push((name.to_owned(), text.to_owned(), Some(category)));
+        self.sources
+            .push((name.to_owned(), text.to_owned(), Some(category)));
     }
 
     /// Number of added sources.
@@ -89,7 +90,10 @@ impl Compiler {
         for (unit, _) in &units {
             for s in &unit.structs {
                 if module.struct_by_name(&s.name).is_none() {
-                    module.add_struct(StructDef { name: s.name.clone(), fields: Vec::new() });
+                    module.add_struct(StructDef {
+                        name: s.name.clone(),
+                        fields: Vec::new(),
+                    });
                 }
             }
         }
@@ -104,7 +108,10 @@ impl Compiler {
                         (sym, ty)
                     })
                     .collect();
-                module.add_struct(StructDef { name: s.name.clone(), fields });
+                module.add_struct(StructDef {
+                    name: s.name.clone(),
+                    fields,
+                });
             }
         }
 
@@ -190,7 +197,10 @@ fn resolve_type(module: &mut Module, t: &TypeExpr) -> Type {
         TypeExpr::Void => Type::Void,
         TypeExpr::Struct(name) => {
             let id = module.struct_by_name(name).unwrap_or_else(|| {
-                module.add_struct(StructDef { name: name.clone(), fields: Vec::new() })
+                module.add_struct(StructDef {
+                    name: name.clone(),
+                    fields: Vec::new(),
+                })
             });
             Type::Struct(id)
         }
@@ -243,7 +253,8 @@ impl<'a, 'm> LowerFn<'a, 'm> {
     }
 
     fn error(&mut self, line: u32, msg: impl Into<String>) {
-        self.diags.push(Diag::new(DiagKind::Sema, &self.file, line, msg));
+        self.diags
+            .push(Diag::new(DiagKind::Sema, &self.file, line, msg));
     }
 
     fn lower(mut self) -> FuncId {
@@ -295,9 +306,10 @@ impl<'a, 'm> LowerFn<'a, 'm> {
             ExprKind::Int(_) | ExprKind::Sizeof => Type::Int,
             ExprKind::Null => Type::ptr(Type::Void),
             ExprKind::Str(_) => Type::ptr(Type::Int),
-            ExprKind::Ident(name) => {
-                self.lookup(name).map(|v| self.var_ty(v)).unwrap_or(Type::Int)
-            }
+            ExprKind::Ident(name) => self
+                .lookup(name)
+                .map(|v| self.var_ty(v))
+                .unwrap_or(Type::Int),
             ExprKind::Arrow(base, field) => {
                 let bt = self.infer_ty(base);
                 self.field_ty(&bt, field)
@@ -393,7 +405,12 @@ impl<'a, 'm> LowerFn<'a, 'm> {
     fn lower_stmt(&mut self, s: &Stmt) {
         let line = s.line;
         match &s.kind {
-            StmtKind::Decl { ty, name, init, is_array } => {
+            StmtKind::Decl {
+                ty,
+                name,
+                init,
+                is_array,
+            } => {
                 let resolved = resolve_type(self.b.module(), ty);
                 let (var_ty, is_struct_value) = if *is_array {
                     (Type::array(resolved), false)
@@ -426,7 +443,11 @@ impl<'a, 'm> LowerFn<'a, 'm> {
             StmtKind::Expr(e) => {
                 let _ = self.lower_expr(e);
             }
-            StmtKind::If { cond, then_body, else_body } => {
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let then_bb = self.b.new_block();
                 let else_bb = self.b.new_block();
                 let join = self.b.new_block();
@@ -453,7 +474,12 @@ impl<'a, 'm> LowerFn<'a, 'm> {
                 self.b.jump(header, line);
                 self.b.switch_to(exit);
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.scopes.push(HashMap::new());
                 if let Some(i) = init {
                     self.lower_stmt(i);
@@ -775,7 +801,8 @@ impl<'a, 'm> LowerFn<'a, 'm> {
                 let target = self.lower_expr_as_var(callee);
                 let arg_ops: Vec<Operand> = args.iter().map(|a| self.lower_expr(a)).collect();
                 let dst = self.b.temp(Type::Int);
-                self.b.call(Some(dst), Callee::Indirect(target), arg_ops, line);
+                self.b
+                    .call(Some(dst), Callee::Indirect(target), arg_ops, line);
                 return Operand::Var(dst);
             }
         }
@@ -824,7 +851,10 @@ impl<'a, 'm> LowerFn<'a, 'm> {
                     }
                     return Operand::Const(ConstVal::Int(0));
                 }
-                "spin_unlock" | "mutex_unlock" | "raw_spin_unlock" | "spin_unlock_irqrestore"
+                "spin_unlock"
+                | "mutex_unlock"
+                | "raw_spin_unlock"
+                | "spin_unlock_irqrestore"
                 | "tos_knl_sched_unlock" => {
                     if let Some(a) = args.first() {
                         let v = self.lower_expr_as_var(a);
@@ -836,9 +866,7 @@ impl<'a, 'm> LowerFn<'a, 'm> {
             }
             let arg_ops: Vec<Operand> = args.iter().map(|a| self.lower_expr(a)).collect();
             if let Some(&fid) = self.func_ids.get(name) {
-                let ret_ty = self
-                    .func_ret_ty(name)
-                    .unwrap_or(Type::Int);
+                let ret_ty = self.func_ret_ty(name).unwrap_or(Type::Int);
                 let dst = if matches!(ret_ty, Type::Void) {
                     None
                 } else {
@@ -860,7 +888,8 @@ impl<'a, 'm> LowerFn<'a, 'm> {
         let target = self.lower_expr_as_var(callee);
         let arg_ops: Vec<Operand> = args.iter().map(|a| self.lower_expr(a)).collect();
         let dst = self.b.temp(Type::Int);
-        self.b.call(Some(dst), Callee::Indirect(target), arg_ops, line);
+        self.b
+            .call(Some(dst), Callee::Indirect(target), arg_ops, line);
         Operand::Var(dst)
     }
 
@@ -1014,9 +1043,7 @@ mod tests {
 
     #[test]
     fn short_circuit_creates_blocks() {
-        let m = compile(
-            "int f(int a, int b) { if (a > 0 && b > 0) { return 1; } return 0; }",
-        );
+        let m = compile("int f(int a, int b) { if (a > 0 && b > 0) { return 1; } return 0; }");
         let f = m.function(m.function_by_name("f").unwrap());
         // entry, mid, then, else, join — at least 5 blocks.
         assert!(f.blocks().len() >= 5, "blocks: {}", f.blocks().len());
@@ -1047,7 +1074,13 @@ mod tests {
         let f = m.function(m.function_by_name("f").unwrap());
         // Truthiness of a pointer compares against null, not 0.
         let has_null_cmp = f.blocks().iter().flat_map(|b| &b.insts).any(|i| {
-            matches!(&i.kind, InstKind::Cmp { rhs: Operand::Const(ConstVal::Null), .. })
+            matches!(
+                &i.kind,
+                InstKind::Cmp {
+                    rhs: Operand::Const(ConstVal::Null),
+                    ..
+                }
+            )
         });
         assert!(has_null_cmp);
     }
@@ -1093,7 +1126,10 @@ mod tests {
         let mut cc = Compiler::new();
         cc.add_source("drivers/net/e1000.c", "void probe(void) { }");
         let m = cc.compile().unwrap();
-        assert_eq!(m.file(pata_ir::FileId::from_index(0)).category, Category::Drivers);
+        assert_eq!(
+            m.file(pata_ir::FileId::from_index(0)).category,
+            Category::Drivers
+        );
         let f = m.function(m.function_by_name("probe").unwrap());
         assert_eq!(f.category(), Category::Drivers);
     }
@@ -1107,11 +1143,15 @@ mod tests {
             "#,
         );
         let f = m.function(m.function_by_name("f").unwrap());
-        let has_indirect = f
-            .blocks()
-            .iter()
-            .flat_map(|b| &b.insts)
-            .any(|i| matches!(&i.kind, InstKind::Call { callee: Callee::Indirect(_), .. }));
+        let has_indirect = f.blocks().iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(
+                &i.kind,
+                InstKind::Call {
+                    callee: Callee::Indirect(_),
+                    ..
+                }
+            )
+        });
         assert!(has_indirect);
     }
 

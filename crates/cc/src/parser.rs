@@ -32,7 +32,11 @@ impl Parser {
     pub fn parse_source(file: &str, source: &str) -> Result<Unit, Diag> {
         let tokens = Lexer::new(file, source).lex()?;
         let lines = source.lines().count() as u32;
-        let mut parser = Parser { file: file.to_owned(), tokens, pos: 0 };
+        let mut parser = Parser {
+            file: file.to_owned(),
+            tokens,
+            pos: 0,
+        };
         let mut unit = parser.parse_unit()?;
         unit.lines = lines;
         Ok(unit)
@@ -51,7 +55,9 @@ impl Parser {
     }
 
     fn bump(&mut self) -> TokenKind {
-        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() {
             self.pos += 1;
         }
@@ -72,7 +78,11 @@ impl Parser {
             self.bump();
             Ok(())
         } else {
-            Err(self.err(format!("expected {}, found {}", kind.describe(), self.peek())))
+            Err(self.err(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek()
+            )))
         }
     }
 
@@ -88,7 +98,10 @@ impl Parser {
     }
 
     fn parse_unit(&mut self) -> Result<Unit, Diag> {
-        let mut unit = Unit { file: self.file.clone(), ..Unit::default() };
+        let mut unit = Unit {
+            file: self.file.clone(),
+            ..Unit::default()
+        };
         while self.peek() != &TokenKind::Eof {
             self.parse_top_level(&mut unit)?;
         }
@@ -195,7 +208,10 @@ impl Parser {
                     if self.eat(&TokenKind::LBracket) {
                         self.expect(TokenKind::RBracket)?;
                     }
-                    params.push(ParamDecl { name: pname, ty: pty });
+                    params.push(ParamDecl {
+                        name: pname,
+                        ty: pty,
+                    });
                     if !self.eat(&TokenKind::Comma) {
                         break;
                     }
@@ -208,7 +224,13 @@ impl Parser {
             }
             self.expect(TokenKind::LBrace)?;
             let body = self.parse_block_body()?;
-            unit.functions.push(FuncDecl { name, ret: ty, params, body, line });
+            unit.functions.push(FuncDecl {
+                name,
+                ret: ty,
+                params,
+                body,
+                line,
+            });
             return Ok(());
         }
 
@@ -240,7 +262,12 @@ impl Parser {
             }
         }
         self.expect(TokenKind::Semi)?;
-        unit.globals.push(GlobalDecl { name, ty, registered_funcs: registered, line });
+        unit.globals.push(GlobalDecl {
+            name,
+            ty,
+            registered_funcs: registered,
+            line,
+        });
         Ok(())
     }
 
@@ -276,7 +303,14 @@ impl Parser {
                 } else {
                     Vec::new()
                 };
-                Ok(Stmt::new(StmtKind::If { cond, then_body, else_body }, line))
+                Ok(Stmt::new(
+                    StmtKind::If {
+                        cond,
+                        then_body,
+                        else_body,
+                    },
+                    line,
+                ))
             }
             TokenKind::KwWhile => {
                 self.bump();
@@ -310,7 +344,15 @@ impl Parser {
                 };
                 self.expect(TokenKind::RParen)?;
                 let body = self.parse_stmt_as_block()?;
-                Ok(Stmt::new(StmtKind::For { init, cond, step, body }, line))
+                Ok(Stmt::new(
+                    StmtKind::For {
+                        init,
+                        cond,
+                        step,
+                        body,
+                    },
+                    line,
+                ))
             }
             TokenKind::KwReturn => {
                 self.bump();
@@ -378,13 +420,30 @@ impl Parser {
                 self.expect(TokenKind::RBracket)?;
                 is_array = true;
             }
-            let init =
-                if self.eat(&TokenKind::Assign) { Some(self.parse_assignment()?) } else { None };
-            return Ok(Stmt::new(StmtKind::Decl { ty, name, init, is_array }, line));
+            let init = if self.eat(&TokenKind::Assign) {
+                Some(self.parse_assignment()?)
+            } else {
+                None
+            };
+            return Ok(Stmt::new(
+                StmtKind::Decl {
+                    ty,
+                    name,
+                    init,
+                    is_array,
+                },
+                line,
+            ));
         }
         let expr = self.parse_assignment()?;
         match expr.kind {
-            ExprKind::Assign(lhs, rhs) => Ok(Stmt::new(StmtKind::Assign { lhs: *lhs, rhs: *rhs }, line)),
+            ExprKind::Assign(lhs, rhs) => Ok(Stmt::new(
+                StmtKind::Assign {
+                    lhs: *lhs,
+                    rhs: *rhs,
+                },
+                line,
+            )),
             _ => Ok(Stmt::new(StmtKind::Expr(expr), line)),
         }
     }
@@ -397,7 +456,10 @@ impl Parser {
             TokenKind::Assign => {
                 self.bump();
                 let rhs = self.parse_assignment()?;
-                Ok(Expr::new(ExprKind::Assign(Box::new(lhs), Box::new(rhs)), line))
+                Ok(Expr::new(
+                    ExprKind::Assign(Box::new(lhs), Box::new(rhs)),
+                    line,
+                ))
             }
             TokenKind::PlusAssign => {
                 self.bump();
@@ -406,7 +468,10 @@ impl Parser {
                     ExprKind::Bin(AstBinOp::Add, Box::new(lhs.clone()), Box::new(rhs)),
                     line,
                 );
-                Ok(Expr::new(ExprKind::Assign(Box::new(lhs), Box::new(sum)), line))
+                Ok(Expr::new(
+                    ExprKind::Assign(Box::new(lhs), Box::new(sum)),
+                    line,
+                ))
             }
             TokenKind::MinusAssign => {
                 self.bump();
@@ -415,7 +480,10 @@ impl Parser {
                     ExprKind::Bin(AstBinOp::Sub, Box::new(lhs.clone()), Box::new(rhs)),
                     line,
                 );
-                Ok(Expr::new(ExprKind::Assign(Box::new(lhs), Box::new(diff)), line))
+                Ok(Expr::new(
+                    ExprKind::Assign(Box::new(lhs), Box::new(diff)),
+                    line,
+                ))
             }
             TokenKind::PlusPlus => {
                 self.bump();
@@ -424,7 +492,10 @@ impl Parser {
                     ExprKind::Bin(AstBinOp::Add, Box::new(lhs.clone()), Box::new(one)),
                     line,
                 );
-                Ok(Expr::new(ExprKind::Assign(Box::new(lhs), Box::new(sum)), line))
+                Ok(Expr::new(
+                    ExprKind::Assign(Box::new(lhs), Box::new(sum)),
+                    line,
+                ))
             }
             TokenKind::MinusMinus => {
                 self.bump();
@@ -433,7 +504,10 @@ impl Parser {
                     ExprKind::Bin(AstBinOp::Sub, Box::new(lhs.clone()), Box::new(one)),
                     line,
                 );
-                Ok(Expr::new(ExprKind::Assign(Box::new(lhs), Box::new(diff)), line))
+                Ok(Expr::new(
+                    ExprKind::Assign(Box::new(lhs), Box::new(diff)),
+                    line,
+                ))
             }
             _ => Ok(lhs),
         }
@@ -473,7 +547,9 @@ impl Parser {
         let mut lhs = self.parse_binary(level + 1)?;
         loop {
             let line = self.line();
-            let Some(op) = self.binop_at(level) else { break };
+            let Some(op) = self.binop_at(level) else {
+                break;
+            };
             self.bump();
             let rhs = self.parse_binary(level + 1)?;
             lhs = Expr::new(ExprKind::Bin(op, Box::new(lhs), Box::new(rhs)), line);
@@ -515,9 +591,11 @@ impl Parser {
                 let e = self.parse_unary()?;
                 let one = Expr::new(ExprKind::Int(1), line);
                 let op = if is_inc { AstBinOp::Add } else { AstBinOp::Sub };
-                let upd =
-                    Expr::new(ExprKind::Bin(op, Box::new(e.clone()), Box::new(one)), line);
-                Ok(Expr::new(ExprKind::Assign(Box::new(e), Box::new(upd)), line))
+                let upd = Expr::new(ExprKind::Bin(op, Box::new(e.clone()), Box::new(one)), line);
+                Ok(Expr::new(
+                    ExprKind::Assign(Box::new(e), Box::new(upd)),
+                    line,
+                ))
             }
             TokenKind::KwSizeof => {
                 self.bump();
@@ -616,14 +694,12 @@ impl Parser {
                 self.expect(TokenKind::RParen)?;
                 Ok(e)
             }
-            other => {
-                Err(Diag::new(
-                    DiagKind::Parse,
-                    &self.file,
-                    line,
-                    format!("expected expression, found {other}"),
-                ))
-            }
+            other => Err(Diag::new(
+                DiagKind::Parse,
+                &self.file,
+                line,
+                format!("expected expression, found {other}"),
+            )),
         }
     }
 }
@@ -641,7 +717,10 @@ mod tests {
         let u = parse("struct dev { int *data; struct dev *next; };");
         assert_eq!(u.structs.len(), 1);
         assert_eq!(u.structs[0].fields.len(), 2);
-        assert_eq!(u.structs[0].fields[1].1, TypeExpr::Ptr(Box::new(TypeExpr::Struct("dev".into()))));
+        assert_eq!(
+            u.structs[0].fields[1].1,
+            TypeExpr::Ptr(Box::new(TypeExpr::Struct("dev".into())))
+        );
     }
 
     #[test]
@@ -651,7 +730,10 @@ mod tests {
               .probe = s5p_mfc_probe, .remove = s5p_mfc_remove };",
         );
         assert_eq!(u.globals.len(), 1);
-        assert_eq!(u.globals[0].registered_funcs, vec!["s5p_mfc_probe", "s5p_mfc_remove"]);
+        assert_eq!(
+            u.globals[0].registered_funcs,
+            vec!["s5p_mfc_probe", "s5p_mfc_remove"]
+        );
     }
 
     #[test]
@@ -697,9 +779,8 @@ mod tests {
 
     #[test]
     fn assign_in_condition() {
-        let u = parse(
-            "int g(void) { int *m; if ((m = alloc(4)) == NULL) { return -1; } return 0; }",
-        );
+        let u =
+            parse("int g(void) { int *m; if ((m = alloc(4)) == NULL) { return -1; } return 0; }");
         let f = &u.functions[0];
         assert!(matches!(f.body[1].kind, StmtKind::If { .. }));
     }
@@ -708,7 +789,9 @@ mod tests {
     fn increments_desugar_to_assign() {
         let u = parse("void f(void) { int i = 0; i++; --i; i += 2; }");
         let f = &u.functions[0];
-        assert!(f.body[1..].iter().all(|s| matches!(s.kind, StmtKind::Assign { .. })));
+        assert!(f.body[1..]
+            .iter()
+            .all(|s| matches!(s.kind, StmtKind::Assign { .. })));
     }
 
     #[test]

@@ -152,7 +152,15 @@ fn call_chain_in_expression() {
         .blocks()
         .iter()
         .flat_map(|bl| &bl.insts)
-        .filter(|i| matches!(i.kind, InstKind::Call { callee: Callee::Direct(_), .. }))
+        .filter(|i| {
+            matches!(
+                i.kind,
+                InstKind::Call {
+                    callee: Callee::Direct(_),
+                    ..
+                }
+            )
+        })
         .count();
     assert_eq!(calls, 2);
 }
@@ -259,7 +267,10 @@ fn unknown_variable_assignment_is_sema_error() {
     let mut cc = Compiler::new();
     cc.add_source("bad.c", "void f(void) { nonexistent = 1; }");
     let err = cc.compile().unwrap_err();
-    assert!(err.iter().any(|d| d.message.contains("unknown variable")), "{err:?}");
+    assert!(
+        err.iter().any(|d| d.message.contains("unknown variable")),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -341,7 +352,11 @@ fn assignment_in_condition_value() {
 fn lines_attributed_to_source() {
     let m = compile("int f(void)\n{\n    int x = 1;\n    return x;\n}\n");
     let f = m.function(m.function_by_name("f").unwrap());
-    let lines: Vec<u32> =
-        f.blocks().iter().flat_map(|b| &b.insts).map(|i| i.loc.line).collect();
+    let lines: Vec<u32> = f
+        .blocks()
+        .iter()
+        .flat_map(|b| &b.insts)
+        .map(|i| i.loc.line)
+        .collect();
     assert!(lines.contains(&3), "{lines:?}");
 }

@@ -73,11 +73,19 @@ struct NodeData {
 #[derive(Debug, Clone, Copy)]
 enum Op {
     /// `v` was inserted into `to`; it previously resided in `from`.
-    VarMoved { v: VarId, from: Option<NodeId>, to: NodeId },
+    VarMoved {
+        v: VarId,
+        from: Option<NodeId>,
+        to: NodeId,
+    },
     /// An edge `n --label--> target` was added.
     EdgeAdded { n: NodeId, label: Label },
     /// The edge `n --label--> old` was removed.
-    EdgeRemoved { n: NodeId, label: Label, old: NodeId },
+    EdgeRemoved {
+        n: NodeId,
+        label: Label,
+        old: NodeId,
+    },
     /// A fresh node was pushed.
     NodeCreated,
 }
@@ -160,7 +168,11 @@ impl AliasGraph {
     /// The target of the `label`-edge out of `n`, if present. Definition 1:
     /// at most one outgoing edge per label.
     pub fn out_edge(&self, n: NodeId, label: Label) -> Option<NodeId> {
-        self.nodes[n.index()].out.iter().find(|(l, _)| *l == label).map(|(_, t)| *t)
+        self.nodes[n.index()]
+            .out
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, t)| *t)
     }
 
     /// All outgoing edges of `n`.
@@ -250,7 +262,11 @@ impl AliasGraph {
         if self.out_edge(n2, Label::Deref).is_none() {
             self.add_edge(n2, Label::Deref, n1);
         }
-        StoreInfo { new_target: n1, old_target: old, addr_node: n2 }
+        StoreInfo {
+            new_target: n1,
+            old_target: old,
+            addr_node: n2,
+        }
     }
 
     /// Stores a constant through a pointer: `*v2 = c`. The target becomes a
@@ -264,7 +280,11 @@ impl AliasGraph {
         }
         let nc = self.new_node();
         self.add_edge(n2, Label::Deref, nc);
-        StoreInfo { new_target: nc, old_target: old, addr_node: n2 }
+        StoreInfo {
+            new_target: nc,
+            old_target: old,
+            addr_node: n2,
+        }
     }
 
     /// `HandleLOAD(v1 = *v2)`: `v1` joins the `*`-target of `v2`'s node
@@ -387,7 +407,10 @@ impl AliasGraph {
         let mut out = Vec::new();
         // Length 0: variables residing in n.
         for &v in self.vars(n) {
-            out.push(AccessPath { base: v, labels: Vec::new() });
+            out.push(AccessPath {
+                base: v,
+                labels: Vec::new(),
+            });
         }
         if max_len == 0 {
             return out;
@@ -404,7 +427,10 @@ impl AliasGraph {
                             labels.extend(suffix.iter().copied());
                             let src = NodeId(src_idx as u32);
                             for &v in &self.nodes[src_idx].vars {
-                                out.push(AccessPath { base: v, labels: labels.clone() });
+                                out.push(AccessPath {
+                                    base: v,
+                                    labels: labels.clone(),
+                                });
                             }
                             next.push((src, labels));
                         }
@@ -432,7 +458,11 @@ pub struct AccessPath {
 
 impl AccessPath {
     /// Renders like `*(&x->f)` / `p` given a variable-name resolver.
-    pub fn render(&self, name_of: impl Fn(VarId) -> String, interner: &pata_ir::Interner) -> String {
+    pub fn render(
+        &self,
+        name_of: impl Fn(VarId) -> String,
+        interner: &pata_ir::Interner,
+    ) -> String {
         let mut s = name_of(self.base);
         for l in &self.labels {
             match l {
@@ -539,7 +569,11 @@ mod tests {
         g.handle_gep(a, p, f);
         g.handle_gep(b, p, f);
         let n = g.node_of(p);
-        let count = g.out_edges(n).iter().filter(|(l, _)| matches!(l, Label::Field(_))).count();
+        let count = g
+            .out_edges(n)
+            .iter()
+            .filter(|(l, _)| matches!(l, Label::Field(_)))
+            .count();
         assert_eq!(count, 1);
         // And both a and b live at the single target.
         assert_eq!(g.node_of_var(a), g.node_of_var(b));
@@ -593,8 +627,12 @@ mod tests {
         let paths = g.access_paths(n4, 2);
         // s itself, *p, *q, *(&x->f)
         assert!(paths.iter().any(|ap| ap.base == s && ap.labels.is_empty()));
-        assert!(paths.iter().any(|ap| ap.base == p && ap.labels == vec![Label::Deref]));
-        assert!(paths.iter().any(|ap| ap.base == q && ap.labels == vec![Label::Deref]));
+        assert!(paths
+            .iter()
+            .any(|ap| ap.base == p && ap.labels == vec![Label::Deref]));
+        assert!(paths
+            .iter()
+            .any(|ap| ap.base == q && ap.labels == vec![Label::Deref]));
         assert!(paths
             .iter()
             .any(|ap| ap.base == x && ap.labels == vec![Label::Field(f), Label::Deref]));

@@ -47,7 +47,11 @@ impl Checker for DivZeroChecker {
                 cx.copy_state(id, dst, src);
             }
         }
-        if let InstKind::Const { value: ConstVal::Int(v), .. } = inst {
+        if let InstKind::Const {
+            value: ConstVal::Int(v),
+            ..
+        } = inst
+        {
             if let Some(key) = info.dst_key {
                 let s = if *v == 0 { S_Z } else { S_NZ };
                 cx.transition(id, key, s, None);

@@ -24,7 +24,9 @@
 //! heap object allocated in it that is still `SNF` leaks.
 
 use crate::checkers::BugKind;
-use crate::typestate::{BranchEvent, Checker, FrameEndEvent, FsmSpec, StateEntry, TrackCtx, UpdateInfo};
+use crate::typestate::{
+    BranchEvent, Checker, FrameEndEvent, FsmSpec, StateEntry, TrackCtx, UpdateInfo,
+};
 use pata_ir::InstKind;
 
 /// Not freed.

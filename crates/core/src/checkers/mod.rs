@@ -56,8 +56,11 @@ impl BugKind {
     ];
 
     /// The paper's three headline checkers (Table 5).
-    pub const MAIN: [BugKind; 3] =
-        [BugKind::NullPointerDeref, BugKind::UninitVarAccess, BugKind::MemoryLeak];
+    pub const MAIN: [BugKind; 3] = [
+        BugKind::NullPointerDeref,
+        BugKind::UninitVarAccess,
+        BugKind::MemoryLeak,
+    ];
 
     /// Stable numeric id namespacing this checker's states in the shared
     /// [`crate::typestate::StateTable`].
@@ -144,7 +147,10 @@ mod tests {
             let fsm = c.fsm();
             assert!(!fsm.states.is_empty());
             assert!(!fsm.events.is_empty());
-            assert!(fsm.states.contains(&fsm.bug_state), "{kind}: bug state must be a state");
+            assert!(
+                fsm.states.contains(&fsm.bug_state),
+                "{kind}: bug state must be a state"
+            );
         }
     }
 

@@ -56,7 +56,11 @@ impl Checker for NpdChecker {
             }
         }
         // ass_null.
-        if let InstKind::Const { value: ConstVal::Null, .. } = inst {
+        if let InstKind::Const {
+            value: ConstVal::Null,
+            ..
+        } = inst
+        {
             if let Some(key) = info.dst_key {
                 cx.transition(id, key, S_N, None);
             }

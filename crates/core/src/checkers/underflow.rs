@@ -49,7 +49,11 @@ impl Checker for UnderflowChecker {
                 cx.copy_state(id, dst, src);
             }
         }
-        if let InstKind::Const { value: ConstVal::Int(v), .. } = inst {
+        if let InstKind::Const {
+            value: ConstVal::Int(v),
+            ..
+        } = inst
+        {
             if let Some(key) = info.dst_key {
                 let s = if *v < 0 { S_NEG } else { S_NONNEG };
                 cx.transition(id, key, s, None);

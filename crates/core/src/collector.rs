@@ -29,7 +29,11 @@ impl CallGraph {
         for func in module.functions() {
             for block in func.blocks() {
                 for inst in &block.insts {
-                    if let InstKind::Call { callee: Callee::Direct(target), .. } = &inst.kind {
+                    if let InstKind::Call {
+                        callee: Callee::Direct(target),
+                        ..
+                    } = &inst.kind
+                    {
                         let from = func.id().index();
                         if !callees[from].contains(target) {
                             callees[from].push(*target);
@@ -88,13 +92,16 @@ mod tests {
             "#,
         );
         let roots = mark_interfaces(&mut m);
-        let names: Vec<&str> =
-            roots.iter().map(|&r| m.function(r).name()).collect();
+        let names: Vec<&str> = roots.iter().map(|&r| m.function(r).name()).collect();
         assert!(names.contains(&"my_probe"));
         assert!(names.contains(&"my_init"));
         assert!(!names.contains(&"helper"), "helper has an explicit caller");
-        assert!(m.function(m.function_by_name("my_probe").unwrap()).is_interface());
-        assert!(!m.function(m.function_by_name("helper").unwrap()).is_interface());
+        assert!(m
+            .function(m.function_by_name("my_probe").unwrap())
+            .is_interface());
+        assert!(!m
+            .function(m.function_by_name("helper").unwrap())
+            .is_interface());
     }
 
     #[test]

@@ -64,6 +64,12 @@ pub struct AnalysisConfig {
     /// drops unsatisfiable candidates (§3.3). Disabling reproduces a
     /// "no-path-validation" ablation.
     pub validate_paths: bool,
+    /// Whether stage 2 memoizes conjunction verdicts in the analyzer's
+    /// shared [`crate::validate::ValidationCache`] (canonicalized keys, so
+    /// α-equivalent constraint systems are solved once across candidates
+    /// and runs). Verdict-neutral: only timing and the hit/miss counters
+    /// change. Disable with `--no-validation-cache` to measure the benefit.
+    pub validation_cache: bool,
     /// Number of worker threads for root-level parallelism (0 = all cores).
     pub threads: usize,
     /// Resolve indirect calls whose target is pinned by the alias graph
@@ -76,10 +82,15 @@ pub struct AnalysisConfig {
 impl Default for AnalysisConfig {
     fn default() -> Self {
         AnalysisConfig {
-            checkers: vec![BugKind::NullPointerDeref, BugKind::UninitVarAccess, BugKind::MemoryLeak],
+            checkers: vec![
+                BugKind::NullPointerDeref,
+                BugKind::UninitVarAccess,
+                BugKind::MemoryLeak,
+            ],
             alias_mode: AliasMode::PathBased,
             budget: PathBudget::default(),
             validate_paths: true,
+            validation_cache: true,
             threads: 0,
             resolve_fptrs: false,
         }
@@ -89,12 +100,18 @@ impl Default for AnalysisConfig {
 impl AnalysisConfig {
     /// A configuration running every built-in checker (Tables 5 + 7).
     pub fn all_checkers() -> Self {
-        AnalysisConfig { checkers: BugKind::ALL.to_vec(), ..AnalysisConfig::default() }
+        AnalysisConfig {
+            checkers: BugKind::ALL.to_vec(),
+            ..AnalysisConfig::default()
+        }
     }
 
     /// The PATA-NA configuration used in the sensitivity study (Table 6).
     pub fn without_alias() -> Self {
-        AnalysisConfig { alias_mode: AliasMode::None, ..AnalysisConfig::default() }
+        AnalysisConfig {
+            alias_mode: AliasMode::None,
+            ..AnalysisConfig::default()
+        }
     }
 
     /// Builder-style checker selection.

@@ -1,6 +1,7 @@
 //! The analysis driver tying the pipeline together (paper Fig. 10):
 //! information collection → per-root path-sensitive code analysis
-//! (parallelized across roots) → bug filtering.
+//! (parallelized across roots with a work-stealing scheduler) → bug
+//! filtering.
 
 use crate::collector;
 use crate::config::AnalysisConfig;
@@ -9,8 +10,11 @@ use crate::path::Explorer;
 use crate::report::{BugReport, PossibleBug};
 use crate::stats::AnalysisStats;
 use crate::typestate::Checker;
+use crate::validate::ValidationCache;
 use pata_ir::{FuncId, Module};
-use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// The result of a full PATA run.
@@ -38,12 +42,18 @@ pub struct AnalysisOutcome {
 #[derive(Debug)]
 pub struct Pata {
     config: AnalysisConfig,
+    /// Stage-2 conjunction verdicts, shared across every `analyze` call on
+    /// this analyzer (and, being `Sync`, across threads).
+    cache: Arc<ValidationCache>,
 }
 
 impl Pata {
     /// Creates an analyzer with `config`.
     pub fn new(config: AnalysisConfig) -> Self {
-        Pata { config }
+        Pata {
+            config,
+            cache: Arc::new(ValidationCache::new()),
+        }
     }
 
     /// The active configuration.
@@ -51,16 +61,29 @@ impl Pata {
         &self.config
     }
 
+    /// The analyzer's shared validation cache (persists across runs).
+    pub fn validation_cache(&self) -> &Arc<ValidationCache> {
+        &self.cache
+    }
+
     /// Runs the full pipeline on `module`.
     pub fn analyze(&self, module: Module) -> AnalysisOutcome {
-        let checkers: Vec<Box<dyn Checker>> =
-            self.config.checkers.iter().map(|k| k.instantiate()).collect();
+        let checkers: Vec<Box<dyn Checker>> = self
+            .config
+            .checkers
+            .iter()
+            .map(|k| k.instantiate())
+            .collect();
         self.analyze_with(module, &checkers)
     }
 
     /// Runs the pipeline with custom checker instances (e.g. user-defined
     /// FSMs; see `examples/custom_checker.rs`).
-    pub fn analyze_with(&self, mut module: Module, checkers: &[Box<dyn Checker>]) -> AnalysisOutcome {
+    pub fn analyze_with(
+        &self,
+        mut module: Module,
+        checkers: &[Box<dyn Checker>],
+    ) -> AnalysisOutcome {
         let start = Instant::now();
         // P1: information collection.
         let roots = collector::mark_interfaces(&mut module);
@@ -74,7 +97,14 @@ impl Pata {
         let candidates = self.run_roots(&module, checkers, &roots, &mut stats);
 
         // P3: bug filtering (dedup + path validation).
-        let result = filter::filter(&module, candidates, self.config.validate_paths, &mut stats);
+        let cache = self.config.validation_cache.then(|| &*self.cache);
+        let result = filter::filter(
+            &module,
+            candidates,
+            self.config.validate_paths,
+            cache,
+            &mut stats,
+        );
         stats.time = start.elapsed();
         AnalysisOutcome {
             reports: result.reports,
@@ -82,6 +112,30 @@ impl Pata {
             stats,
             module,
         }
+    }
+
+    /// Runs phases P1 + P2 only, returning the marked module, the raw
+    /// (pre-dedup, pre-validation) candidates and the exploration stats —
+    /// the exact input [`filter::filter`] consumes. Lets benchmarks and
+    /// experiments time stage-2 validation in isolation.
+    pub fn collect_candidates(
+        &self,
+        mut module: Module,
+    ) -> (Module, Vec<PossibleBug>, AnalysisStats) {
+        let checkers: Vec<Box<dyn Checker>> = self
+            .config
+            .checkers
+            .iter()
+            .map(|k| k.instantiate())
+            .collect();
+        let roots = collector::mark_interfaces(&mut module);
+        let mut stats = AnalysisStats {
+            files_analyzed: module.files().len() as u64,
+            loc_analyzed: module.total_loc(),
+            ..AnalysisStats::default()
+        };
+        let candidates = self.run_roots(&module, &checkers, &roots, &mut stats);
+        (module, candidates, stats)
     }
 
     fn run_roots(
@@ -92,7 +146,9 @@ impl Pata {
         stats: &mut AnalysisStats,
     ) -> Vec<PossibleBug> {
         let threads = if self.config.threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         } else {
             self.config.threads
         };
@@ -110,32 +166,60 @@ impl Pata {
             return all;
         }
 
-        // Root-level parallelism: each worker pulls the next root index.
-        let next = std::sync::atomic::AtomicUsize::new(0);
+        // Root-level parallelism with work stealing: roots are dealt
+        // round-robin into per-worker deques; a worker pops from its own
+        // queue's front and, when empty, steals from the back of another
+        // worker's queue. Root costs are wildly uneven (one hot root can
+        // dominate a static split), so idle workers pull the remaining work
+        // instead of waiting. The task set is static — no queue ever grows —
+        // so one full empty scan means the phase is done.
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+        for i in 0..roots.len() {
+            queues[i % threads].lock().unwrap().push_back(i);
+        }
+        let steals = AtomicU64::new(0);
         let collected: Mutex<Vec<(usize, Vec<PossibleBug>, AnalysisStats)>> =
             Mutex::new(Vec::new());
-        crossbeam::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= roots.len() {
-                        break;
+        std::thread::scope(|scope| {
+            for w in 0..threads {
+                let queues = &queues;
+                let collected = &collected;
+                let steals = &steals;
+                scope.spawn(move || loop {
+                    let mut task = queues[w].lock().unwrap().pop_front();
+                    if task.is_none() {
+                        for off in 1..threads {
+                            let victim = (w + off) % threads;
+                            task = queues[victim].lock().unwrap().pop_back();
+                            if task.is_some() {
+                                steals.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                        }
                     }
+                    let Some(i) = task else { break };
                     let explorer = Explorer::new(module, &self.config, checkers, roots[i]);
                     let result = explorer.explore();
-                    collected.lock().push((i, result.candidates, result.stats));
+                    collected
+                        .lock()
+                        .unwrap()
+                        .push((i, result.candidates, result.stats));
                 });
             }
-        })
-        .expect("analysis worker panicked");
+        });
 
-        let mut per_root = collected.into_inner();
-        per_root.sort_by_key(|(i, _, _)| *i); // determinism across runs
+        let mut per_root = collected.into_inner().unwrap();
+        // Merge in root order regardless of which worker ran what — the
+        // candidate stream (and so the final report set) is identical to a
+        // single-threaded run.
+        per_root.sort_by_key(|(i, _, _)| *i);
         let mut all = Vec::new();
         for (_, candidates, s) in per_root {
             *stats += &s;
             all.extend(candidates);
         }
+        stats.work_steals += steals.into_inner();
         all
     }
 }
@@ -147,12 +231,19 @@ mod tests {
 
     fn analyze(src: &str) -> AnalysisOutcome {
         let module = pata_cc::compile_one("t.c", src).unwrap();
-        Pata::new(AnalysisConfig { threads: 1, ..AnalysisConfig::default() }).analyze(module)
+        Pata::new(AnalysisConfig {
+            threads: 1,
+            ..AnalysisConfig::default()
+        })
+        .analyze(module)
     }
 
     fn analyze_all(src: &str) -> AnalysisOutcome {
         let module = pata_cc::compile_one("t.c", src).unwrap();
-        let cfg = AnalysisConfig { threads: 1, ..AnalysisConfig::all_checkers() };
+        let cfg = AnalysisConfig {
+            threads: 1,
+            ..AnalysisConfig::all_checkers()
+        };
         Pata::new(cfg).analyze(module)
     }
 
@@ -175,7 +266,11 @@ mod tests {
             }
             "#,
         );
-        assert!(kinds(&out).contains(&BugKind::NullPointerDeref), "{:?}", out.reports);
+        assert!(
+            kinds(&out).contains(&BugKind::NullPointerDeref),
+            "{:?}",
+            out.reports
+        );
     }
 
     #[test]
@@ -189,7 +284,11 @@ mod tests {
             }
             "#,
         );
-        assert!(!kinds(&out).contains(&BugKind::NullPointerDeref), "{:?}", out.reports);
+        assert!(
+            !kinds(&out).contains(&BugKind::NullPointerDeref),
+            "{:?}",
+            out.reports
+        );
     }
 
     #[test]
@@ -216,9 +315,16 @@ mod tests {
             }
             "#,
         );
-        let npd: Vec<_> =
-            out.reports.iter().filter(|r| r.kind == BugKind::NullPointerDeref).collect();
-        assert!(!npd.is_empty(), "expected the Fig. 3 NPD, got {:?}", out.reports);
+        let npd: Vec<_> = out
+            .reports
+            .iter()
+            .filter(|r| r.kind == BugKind::NullPointerDeref)
+            .collect();
+        assert!(
+            !npd.is_empty(),
+            "expected the Fig. 3 NPD, got {:?}",
+            out.reports
+        );
         assert!(npd.iter().any(|r| r.function == "send_status"));
     }
 
@@ -264,7 +370,11 @@ mod tests {
             }
             "#,
         );
-        assert!(kinds(&out).contains(&BugKind::UninitVarAccess), "{:?}", out.reports);
+        assert!(
+            kinds(&out).contains(&BugKind::UninitVarAccess),
+            "{:?}",
+            out.reports
+        );
     }
 
     #[test]
@@ -306,7 +416,11 @@ mod tests {
             }
             "#,
         );
-        assert!(kinds(&out).contains(&BugKind::UninitVarAccess), "{:?}", out.reports);
+        assert!(
+            kinds(&out).contains(&BugKind::UninitVarAccess),
+            "{:?}",
+            out.reports
+        );
     }
 
     #[test]
@@ -322,7 +436,11 @@ mod tests {
             }
             "#,
         );
-        assert!(!kinds(&out).contains(&BugKind::UninitVarAccess), "{:?}", out.reports);
+        assert!(
+            !kinds(&out).contains(&BugKind::UninitVarAccess),
+            "{:?}",
+            out.reports
+        );
     }
 
     // ----------------------------------------------------------------
@@ -344,7 +462,11 @@ mod tests {
             }
             "#,
         );
-        let ml: Vec<_> = out.reports.iter().filter(|r| r.kind == BugKind::MemoryLeak).collect();
+        let ml: Vec<_> = out
+            .reports
+            .iter()
+            .filter(|r| r.kind == BugKind::MemoryLeak)
+            .collect();
         assert_eq!(ml.len(), 1, "{:?}", out.reports);
     }
 
@@ -358,7 +480,11 @@ mod tests {
             }
             "#,
         );
-        assert!(!kinds(&out).contains(&BugKind::MemoryLeak), "{:?}", out.reports);
+        assert!(
+            !kinds(&out).contains(&BugKind::MemoryLeak),
+            "{:?}",
+            out.reports
+        );
     }
 
     #[test]
@@ -372,7 +498,11 @@ mod tests {
             }
             "#,
         );
-        assert!(!kinds(&out).contains(&BugKind::MemoryLeak), "{:?}", out.reports);
+        assert!(
+            !kinds(&out).contains(&BugKind::MemoryLeak),
+            "{:?}",
+            out.reports
+        );
     }
 
     #[test]
@@ -386,7 +516,11 @@ mod tests {
             }
             "#,
         );
-        assert!(kinds(&out).contains(&BugKind::MemoryLeak), "{:?}", out.reports);
+        assert!(
+            kinds(&out).contains(&BugKind::MemoryLeak),
+            "{:?}",
+            out.reports
+        );
     }
 
     #[test]
@@ -400,7 +534,11 @@ mod tests {
             }
             "#,
         );
-        assert!(!kinds(&out).contains(&BugKind::MemoryLeak), "{:?}", out.reports);
+        assert!(
+            !kinds(&out).contains(&BugKind::MemoryLeak),
+            "{:?}",
+            out.reports
+        );
     }
 
     // ----------------------------------------------------------------
@@ -421,7 +559,11 @@ mod tests {
             }
             "#,
         );
-        assert!(kinds(&out).contains(&BugKind::DoubleLock), "{:?}", out.reports);
+        assert!(
+            kinds(&out).contains(&BugKind::DoubleLock),
+            "{:?}",
+            out.reports
+        );
     }
 
     #[test]
@@ -437,7 +579,11 @@ mod tests {
             }
             "#,
         );
-        assert!(!kinds(&out).contains(&BugKind::DoubleLock), "{:?}", out.reports);
+        assert!(
+            !kinds(&out).contains(&BugKind::DoubleLock),
+            "{:?}",
+            out.reports
+        );
     }
 
     #[test]
@@ -452,8 +598,11 @@ mod tests {
             }
             "#,
         );
-        let dbz: Vec<_> =
-            out.reports.iter().filter(|r| r.kind == BugKind::DivisionByZero).collect();
+        let dbz: Vec<_> = out
+            .reports
+            .iter()
+            .filter(|r| r.kind == BugKind::DivisionByZero)
+            .collect();
         assert_eq!(dbz.len(), 1, "{:?}", out.reports);
     }
 
@@ -471,7 +620,11 @@ mod tests {
             }
             "#,
         );
-        assert!(kinds(&out).contains(&BugKind::ArrayIndexUnderflow), "{:?}", out.reports);
+        assert!(
+            kinds(&out).contains(&BugKind::ArrayIndexUnderflow),
+            "{:?}",
+            out.reports
+        );
     }
 
     // ----------------------------------------------------------------
@@ -503,11 +656,18 @@ mod tests {
             }
         "#;
         let module = pata_cc::compile_one("t.c", src).unwrap();
-        let na = Pata::new(AnalysisConfig { threads: 1, ..AnalysisConfig::without_alias() })
-            .analyze(module);
+        let na = Pata::new(AnalysisConfig {
+            threads: 1,
+            ..AnalysisConfig::without_alias()
+        })
+        .analyze(module);
         let na_kinds = kinds(&na);
         // The direct bug (check + deref of the same variable) survives…
-        assert!(na_kinds.contains(&BugKind::NullPointerDeref), "{:?}", na.reports);
+        assert!(
+            na_kinds.contains(&BugKind::NullPointerDeref),
+            "{:?}",
+            na.reports
+        );
         // …but the cross-function alias bug is missed.
         assert!(
             !na.reports.iter().any(|r| r.function == "send_status"),
@@ -529,8 +689,11 @@ mod tests {
             }
         "#;
         let module = pata_cc::compile_one("t.c", src).unwrap();
-        let out = Pata::new(AnalysisConfig { threads: 1, ..AnalysisConfig::default() })
-            .analyze(module);
+        let out = Pata::new(AnalysisConfig {
+            threads: 1,
+            ..AnalysisConfig::default()
+        })
+        .analyze(module);
         assert!(out.stats.typestates_unaware > out.stats.typestates_aware);
         assert!(out.stats.constraints_unaware > out.stats.constraints_aware);
     }
@@ -585,7 +748,11 @@ mod tests {
             }
             "#,
         );
-        assert!(kinds(&out).contains(&BugKind::UseAfterFree), "{:?}", out.reports);
+        assert!(
+            kinds(&out).contains(&BugKind::UseAfterFree),
+            "{:?}",
+            out.reports
+        );
     }
 
     #[test]
@@ -600,7 +767,11 @@ mod tests {
             }
             "#,
         );
-        assert!(kinds(&out).contains(&BugKind::UseAfterFree), "{:?}", out.reports);
+        assert!(
+            kinds(&out).contains(&BugKind::UseAfterFree),
+            "{:?}",
+            out.reports
+        );
     }
 
     #[test]
@@ -618,7 +789,11 @@ mod tests {
             }
             "#,
         );
-        assert!(!kinds(&out).contains(&BugKind::UseAfterFree), "{:?}", out.reports);
+        assert!(
+            !kinds(&out).contains(&BugKind::UseAfterFree),
+            "{:?}",
+            out.reports
+        );
     }
 
     // ----------------------------------------------------------------
@@ -644,10 +819,15 @@ mod tests {
         // and thus it cannot find bugs whose bug-trigger paths pass through
         // indirect function calls" (§7).
         let module = pata_cc::compile_one("t.c", CALLBACK_SRC).unwrap();
-        let out = Pata::new(AnalysisConfig { threads: 1, ..AnalysisConfig::default() })
-            .analyze(module);
+        let out = Pata::new(AnalysisConfig {
+            threads: 1,
+            ..AnalysisConfig::default()
+        })
+        .analyze(module);
         assert!(
-            !out.reports.iter().any(|r| r.kind == BugKind::NullPointerDeref),
+            !out.reports
+                .iter()
+                .any(|r| r.kind == BugKind::NullPointerDeref),
             "{:?}",
             out.reports
         );
@@ -666,7 +846,11 @@ mod tests {
             .reports
             .iter()
             .any(|r| r.kind == BugKind::NullPointerDeref && r.function == "cb");
-        assert!(hit, "the callback bug needs the caller's null state: {:?}", out.reports);
+        assert!(
+            hit,
+            "the callback bug needs the caller's null state: {:?}",
+            out.reports
+        );
     }
 
     #[test]
@@ -718,25 +902,108 @@ mod tests {
         "#;
         let one = {
             let module = pata_cc::compile_one("t.c", src).unwrap();
-            Pata::new(AnalysisConfig { threads: 1, ..AnalysisConfig::default() })
-                .analyze(module)
+            Pata::new(AnalysisConfig {
+                threads: 1,
+                ..AnalysisConfig::default()
+            })
+            .analyze(module)
         };
         assert!(
-            !one.reports.iter().any(|r| r.kind == BugKind::NullPointerDeref),
+            !one.reports
+                .iter()
+                .any(|r| r.kind == BugKind::NullPointerDeref),
             "1-iteration unrolling cannot reach i == 1: {:?}",
             one.reports
         );
         let two = {
             let module = pata_cc::compile_one("t.c", src).unwrap();
-            let mut cfg = AnalysisConfig { threads: 1, ..AnalysisConfig::default() };
+            let mut cfg = AnalysisConfig {
+                threads: 1,
+                ..AnalysisConfig::default()
+            };
             cfg.budget.loop_iterations = 2;
             Pata::new(cfg).analyze(module)
         };
         assert!(
-            two.reports.iter().any(|r| r.kind == BugKind::NullPointerDeref),
+            two.reports
+                .iter()
+                .any(|r| r.kind == BugKind::NullPointerDeref),
             "2-iteration unrolling reaches the assignment: {:?}",
             two.reports
         );
+    }
+
+    #[test]
+    fn work_stealing_reports_match_single_thread_exactly() {
+        // A multi-root module with uneven root costs; the report *list*
+        // (kind, file, function, lines), not just its length, must be
+        // identical whatever the scheduler does.
+        let src = r#"
+            struct dev { int *res; };
+            int p1(struct dev *d) { if (d->res == NULL) { } return *d->res; }
+            int p2(int c) { int x; if (c > 0) { x = 1; } return x; }
+            int p3(int n) {
+                int *m = malloc(n);
+                if (m == NULL) { return -1; }
+                if (n < 0) { return -2; }
+                free(m);
+                return 0;
+            }
+            int p4(int *q) { if (q == NULL) { } return *q; }
+            int p5(int i) { int t = 0; for (; i > 0; i--) { t += i; } return t; }
+            int p6(struct dev *d) {
+                if (d->res == NULL) { return -1; }
+                return *d->res;
+            }
+        "#;
+        let render = |out: &AnalysisOutcome| {
+            let mut lines: Vec<String> = out
+                .reports
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{:?} {} {} {} {}",
+                        r.kind, r.file, r.function, r.origin_line, r.site_line
+                    )
+                })
+                .collect();
+            lines.sort();
+            lines
+        };
+        let seq = Pata::new(AnalysisConfig {
+            threads: 1,
+            ..AnalysisConfig::default()
+        })
+        .analyze(pata_cc::compile_one("t.c", src).unwrap());
+        for threads in [0, 2, 3] {
+            let par = Pata::new(AnalysisConfig {
+                threads,
+                ..AnalysisConfig::default()
+            })
+            .analyze(pata_cc::compile_one("t.c", src).unwrap());
+            assert_eq!(render(&seq), render(&par), "threads={threads}");
+            assert_eq!(seq.stats.paths_explored, par.stats.paths_explored);
+            assert_eq!(seq.stats.false_bugs_dropped, par.stats.false_bugs_dropped);
+        }
+    }
+
+    #[test]
+    fn validation_cache_persists_across_runs() {
+        let pata = Pata::new(AnalysisConfig {
+            threads: 1,
+            ..AnalysisConfig::default()
+        });
+        let src = "int f(int *p) { if (p == NULL) { } return *p; }";
+        let first = pata.analyze(pata_cc::compile_one("t.c", src).unwrap());
+        assert!(first.stats.validation_cache_misses > 0, "{:?}", first.stats);
+        let second = pata.analyze(pata_cc::compile_one("t.c", src).unwrap());
+        assert_eq!(
+            second.stats.validation_cache_misses, 0,
+            "the second identical run must be fully cached: {:?}",
+            second.stats
+        );
+        assert!(second.stats.validation_cache_hits > 0);
+        assert_eq!(first.reports.len(), second.reports.len());
     }
 
     #[test]
@@ -749,10 +1016,16 @@ mod tests {
         "#;
         let m1 = pata_cc::compile_one("t.c", src).unwrap();
         let m2 = pata_cc::compile_one("t.c", src).unwrap();
-        let seq = Pata::new(AnalysisConfig { threads: 1, ..AnalysisConfig::default() })
-            .analyze(m1);
-        let par = Pata::new(AnalysisConfig { threads: 4, ..AnalysisConfig::default() })
-            .analyze(m2);
+        let seq = Pata::new(AnalysisConfig {
+            threads: 1,
+            ..AnalysisConfig::default()
+        })
+        .analyze(m1);
+        let par = Pata::new(AnalysisConfig {
+            threads: 4,
+            ..AnalysisConfig::default()
+        })
+        .analyze(m2);
         assert_eq!(seq.reports.len(), par.reports.len());
         assert_eq!(seq.stats.paths_explored, par.stats.paths_explored);
     }

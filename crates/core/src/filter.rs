@@ -3,7 +3,7 @@
 
 use crate::report::{BugReport, PossibleBug};
 use crate::stats::AnalysisStats;
-use crate::validate::{validate, Feasibility};
+use crate::validate::{Feasibility, PathValidator, ValidationCache};
 use pata_ir::Module;
 use std::collections::HashMap;
 
@@ -18,11 +18,17 @@ pub struct FilterResult {
 
 /// Deduplicates candidates by problematic-instruction pair and validates
 /// each survivor's path feasibility, updating `stats` (dropped repeated /
-/// false bugs, reported count).
+/// false bugs, reported count, validation-cache counters).
+///
+/// Validation runs through one [`PathValidator`]: the path snapshots of a
+/// group share long constraint prefixes, which the incremental solver keeps
+/// asserted between candidates. When `cache` is given, whole conjunctions
+/// are additionally memoized by canonical key across groups and runs.
 pub fn filter(
     module: &Module,
     candidates: Vec<PossibleBug>,
     validate_paths: bool,
+    cache: Option<&ValidationCache>,
     stats: &mut AnalysisStats,
 ) -> FilterResult {
     // Group path snapshots by problematic-instruction pair (§4 P3): two
@@ -42,12 +48,15 @@ pub fn filter(
         entry.push(bug);
     }
 
+    let mut validator = PathValidator::new(cache);
     let mut reports = Vec::new();
     let mut real = Vec::new();
     for key in order {
         let paths = groups.remove(&key).expect("grouped");
         let witness = if validate_paths {
-            paths.into_iter().find(|bug| validate(bug) == Feasibility::Feasible)
+            paths
+                .into_iter()
+                .find(|bug| validator.validate(bug) == Feasibility::Feasible)
         } else {
             paths.into_iter().next()
         };
@@ -62,7 +71,14 @@ pub fn filter(
             }
         }
     }
-    FilterResult { reports, real_bugs: real }
+    let vstats = validator.stats();
+    stats.validation_cache_hits += vstats.cache_hits;
+    stats.validation_cache_misses += vstats.cache_misses;
+    stats.validation_scope_reuse += vstats.scope_reuse;
+    FilterResult {
+        reports,
+        real_bugs: real,
+    }
 }
 
 #[cfg(test)]
@@ -98,11 +114,24 @@ mod tests {
         }
     }
 
+    fn contradiction() -> Vec<Constraint> {
+        vec![
+            Constraint::new(CmpOp::Eq, Term::sym(SymId(0)), Term::int(0)),
+            Constraint::new(CmpOp::Ne, Term::sym(SymId(0)), Term::int(0)),
+        ]
+    }
+
     #[test]
     fn dedup_drops_repeats() {
         let m = module_with_one_fn();
         let mut stats = AnalysisStats::default();
-        let out = filter(&m, vec![bug(1, vec![]), bug(1, vec![]), bug(2, vec![])], true, &mut stats);
+        let out = filter(
+            &m,
+            vec![bug(1, vec![]), bug(1, vec![]), bug(2, vec![])],
+            true,
+            None,
+            &mut stats,
+        );
         assert_eq!(out.reports.len(), 2);
         assert_eq!(stats.repeated_bugs_dropped, 1);
     }
@@ -111,11 +140,13 @@ mod tests {
     fn infeasible_candidates_dropped() {
         let m = module_with_one_fn();
         let mut stats = AnalysisStats::default();
-        let contradiction = vec![
-            Constraint::new(CmpOp::Eq, Term::sym(SymId(0)), Term::int(0)),
-            Constraint::new(CmpOp::Ne, Term::sym(SymId(0)), Term::int(0)),
-        ];
-        let out = filter(&m, vec![bug(1, contradiction), bug(2, vec![])], true, &mut stats);
+        let out = filter(
+            &m,
+            vec![bug(1, contradiction()), bug(2, vec![])],
+            true,
+            None,
+            &mut stats,
+        );
         assert_eq!(out.reports.len(), 1);
         assert_eq!(stats.false_bugs_dropped, 1);
         assert_eq!(stats.reported, 1);
@@ -125,12 +156,51 @@ mod tests {
     fn validation_can_be_disabled() {
         let m = module_with_one_fn();
         let mut stats = AnalysisStats::default();
-        let contradiction = vec![
-            Constraint::new(CmpOp::Eq, Term::sym(SymId(0)), Term::int(0)),
-            Constraint::new(CmpOp::Ne, Term::sym(SymId(0)), Term::int(0)),
-        ];
-        let out = filter(&m, vec![bug(1, contradiction)], false, &mut stats);
+        let out = filter(&m, vec![bug(1, contradiction())], false, None, &mut stats);
         assert_eq!(out.reports.len(), 1);
         assert_eq!(stats.false_bugs_dropped, 0);
+    }
+
+    #[test]
+    fn cache_counters_flow_into_stats() {
+        let m = module_with_one_fn();
+        let cache = ValidationCache::new();
+        let mut stats = AnalysisStats::default();
+        // Two distinct bugs with identical (α-equivalent) constraint sets:
+        // the second validation hits the cache.
+        let out = filter(
+            &m,
+            vec![bug(1, contradiction()), bug(2, contradiction())],
+            true,
+            Some(&cache),
+            &mut stats,
+        );
+        assert_eq!(out.reports.len(), 0);
+        assert_eq!(stats.false_bugs_dropped, 2);
+        assert_eq!(stats.validation_cache_misses, 1);
+        assert_eq!(stats.validation_cache_hits, 1);
+    }
+
+    #[test]
+    fn cache_on_and_off_agree() {
+        let m = module_with_one_fn();
+        let mk = || {
+            vec![
+                bug(1, contradiction()),
+                bug(2, vec![]),
+                bug(3, contradiction()),
+            ]
+        };
+        let mut s_off = AnalysisStats::default();
+        let off = filter(&m, mk(), true, None, &mut s_off);
+        let cache = ValidationCache::new();
+        let mut s_on = AnalysisStats::default();
+        let on = filter(&m, mk(), true, Some(&cache), &mut s_on);
+        assert_eq!(off.reports.len(), on.reports.len());
+        assert_eq!(s_off.false_bugs_dropped, s_on.false_bugs_dropped);
+        assert_eq!(
+            s_off.validation_cache_hits + s_off.validation_cache_misses,
+            0
+        );
     }
 }

@@ -67,3 +67,4 @@ pub use config::{AliasMode, AnalysisConfig, PathBudget};
 pub use driver::{AnalysisOutcome, Pata};
 pub use report::{BugReport, PossibleBug};
 pub use stats::AnalysisStats;
+pub use validate::{PathValidator, ValidationCache};

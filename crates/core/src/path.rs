@@ -38,8 +38,8 @@ use crate::config::{AliasMode, AnalysisConfig};
 use crate::report::PossibleBug;
 use crate::stats::AnalysisStats;
 use crate::typestate::{
-    BranchEvent, Checker, FrameEndEvent, HeapObject, OperandKey, PendingBug, StateMark,
-    StateTable, TrackCtx, TrackKey,
+    BranchEvent, Checker, FrameEndEvent, HeapObject, OperandKey, PendingBug, StateMark, StateTable,
+    TrackCtx, TrackKey,
 };
 use pata_ir::{
     BlockId, Callee, CmpOp, ConstVal, FuncId, Inst, InstId, InstKind, Loc, Module, Operand,
@@ -71,7 +71,11 @@ struct Frame {
 
 impl Frame {
     fn new(func: FuncId) -> Self {
-        Frame { func, visited: HashMap::new(), heap_objects: Vec::new() }
+        Frame {
+            func,
+            visited: HashMap::new(),
+            heap_objects: Vec::new(),
+        }
     }
 }
 
@@ -180,7 +184,10 @@ impl<'a> Explorer<'a> {
             self.stats.budget_exhausted_roots += 1;
         }
         self.stats.roots += 1;
-        ExploreResult { candidates: self.candidates, stats: self.stats }
+        ExploreResult {
+            candidates: self.candidates,
+            stats: self.stats,
+        }
     }
 
     // ==============================================================
@@ -512,7 +519,11 @@ impl<'a> Explorer<'a> {
             }
             self.stats.insts_processed += 1;
             let inst = &b.insts[i];
-            let inst_id = InstId { func, block, inst: i };
+            let inst_id = InstId {
+                func,
+                block,
+                inst: i,
+            };
             match self.apply_inst(func, inst_id, inst, conts) {
                 Flow::Continue => {}
                 Flow::EnteredCall => return, // rest ran via continuation
@@ -525,7 +536,11 @@ impl<'a> Explorer<'a> {
     fn exec_terminator(&mut self, func: FuncId, block: BlockId, conts: &mut Vec<Cont>) {
         let f = self.module.function(func);
         let b = f.block(block);
-        let term_id = InstId { func, block, inst: b.insts.len() };
+        let term_id = InstId {
+            func,
+            block,
+            inst: b.insts.len(),
+        };
         let term_loc = b.term_loc;
         match b.term.clone() {
             Terminator::Jump(target) => {
@@ -536,7 +551,11 @@ impl<'a> Explorer<'a> {
                     self.exec_block(func, target, conts);
                 }
             }
-            Terminator::Branch { cond, then_bb, else_bb } => {
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
                 let pred = self.cond_defs.get(&cond).copied();
                 let mut any = false;
                 for (succ, taken) in [(then_bb, true), (else_bb, false)] {
@@ -603,7 +622,14 @@ impl<'a> Explorer<'a> {
             Operand::Var(v) => OperandKey::Var(v, self.key_of(v)),
             Operand::Const(c) => OperandKey::Const(c.as_int()),
         };
-        let ev = BranchEvent { op: eff_op, lhs: lhs_key, rhs: rhs_key, lhs_is_pointer, loc, inst_id };
+        let ev = BranchEvent {
+            op: eff_op,
+            lhs: lhs_key,
+            rhs: rhs_key,
+            lhs_is_pointer,
+            loc,
+            inst_id,
+        };
         self.run_checkers_branch(&ev);
     }
 
@@ -678,11 +704,15 @@ impl<'a> Explorer<'a> {
                     };
                     cx.transition(ml_id, dst_key, ml::S_NF, Some(entry));
                     drop(cx);
-                    self.frames.last_mut().unwrap().heap_objects.push(HeapObject {
-                        key: dst_key,
-                        loc: entry.origin_loc,
-                        inst_id: entry.origin_id,
-                    });
+                    self.frames
+                        .last_mut()
+                        .unwrap()
+                        .heap_objects
+                        .push(HeapObject {
+                            key: dst_key,
+                            loc: entry.origin_loc,
+                            inst_id: entry.origin_id,
+                        });
                 }
             }
         }
@@ -933,7 +963,14 @@ impl<'a> Explorer<'a> {
                     }
                 }
                 // Remember the predicate for the branch that consumes dst.
-                let old = self.cond_defs.insert(*dst, PredDef { op: *op, lhs: *lhs, rhs: *rhs });
+                let old = self.cond_defs.insert(
+                    *dst,
+                    PredDef {
+                        op: *op,
+                        lhs: *lhs,
+                        rhs: *rhs,
+                    },
+                );
                 self.cond_journal.push((*dst, old));
                 self.na_clear_def(*dst);
                 if alias {
@@ -1058,24 +1095,40 @@ impl<'a> Explorer<'a> {
                 };
                 info.dst_key = Some(key);
             }
-            let kind = InstKind::Call { dst, callee, args: args.to_vec() };
+            let kind = InstKind::Call {
+                dst,
+                callee,
+                args: args.to_vec(),
+            };
             self.run_checkers_inst(&kind, &info, loc, inst_id);
             return Flow::Continue;
         }
 
         let f = inline_target.unwrap();
         // Report uses (e.g. passing an uninitialized value) before binding.
-        let kind = InstKind::Call { dst, callee, args: args.to_vec() };
+        let kind = InstKind::Call {
+            dst,
+            callee,
+            args: args.to_vec(),
+        };
         self.run_checkers_inst(&kind, &info, loc, inst_id);
 
         // HandleCALL (Fig. 6): parameter passing is a sequence of MOVEs.
         let params: Vec<VarId> = self.module.function(f).params().to_vec();
         for (i, &param) in params.iter().enumerate() {
-            let arg = args.get(i).copied().unwrap_or(Operand::Const(ConstVal::Int(0)));
+            let arg = args
+                .get(i)
+                .copied()
+                .unwrap_or(Operand::Const(ConstVal::Int(0)));
             self.bind_value(param, Some(arg), loc, inst_id);
         }
 
-        conts.push(Cont { func, block: inst_id.block, next_inst: inst_id.inst + 1, dst });
+        conts.push(Cont {
+            func,
+            block: inst_id.block,
+            next_inst: inst_id.inst + 1,
+            dst,
+        });
         self.call_stack.push(f);
         self.frames.push(Frame::new(f));
         let entry = self.module.function(f).entry();

@@ -112,7 +112,11 @@ mod tests {
     use pata_ir::BlockId;
 
     fn inst_id(f: usize, i: usize) -> InstId {
-        InstId { func: FuncId::from_index(f), block: BlockId::from_index(0), inst: i }
+        InstId {
+            func: FuncId::from_index(f),
+            block: BlockId::from_index(0),
+            inst: i,
+        }
     }
 
     #[test]

@@ -42,6 +42,15 @@ pub struct AnalysisStats {
     pub reported: u64,
     /// Roots whose exploration hit a budget cap.
     pub budget_exhausted_roots: u64,
+    /// Stage-2 conjunctions answered from the validation cache.
+    pub validation_cache_hits: u64,
+    /// Stage-2 conjunctions solved and inserted into the validation cache.
+    pub validation_cache_misses: u64,
+    /// Constraints reused across consecutive stage-2 solves through the
+    /// incremental solver's assertion scopes.
+    pub validation_scope_reuse: u64,
+    /// Roots a worker stole from another worker's queue (root scheduler).
+    pub work_steals: u64,
     /// Wall-clock analysis time.
     pub time: Duration,
 }
@@ -82,6 +91,10 @@ impl AddAssign<&AnalysisStats> for AnalysisStats {
         self.candidates += rhs.candidates;
         self.reported += rhs.reported;
         self.budget_exhausted_roots += rhs.budget_exhausted_roots;
+        self.validation_cache_hits += rhs.validation_cache_hits;
+        self.validation_cache_misses += rhs.validation_cache_misses;
+        self.validation_scope_reuse += rhs.validation_scope_reuse;
+        self.work_steals += rhs.work_steals;
         self.time += rhs.time;
     }
 }
@@ -112,8 +125,15 @@ mod tests {
 
     #[test]
     fn accumulate() {
-        let mut a = AnalysisStats { paths_explored: 1, ..AnalysisStats::default() };
-        let b = AnalysisStats { paths_explored: 2, reported: 3, ..AnalysisStats::default() };
+        let mut a = AnalysisStats {
+            paths_explored: 1,
+            ..AnalysisStats::default()
+        };
+        let b = AnalysisStats {
+            paths_explored: 2,
+            reported: 3,
+            ..AnalysisStats::default()
+        };
         a += &b;
         assert_eq!(a.paths_explored, 3);
         assert_eq!(a.reported, 3);

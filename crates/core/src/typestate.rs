@@ -269,7 +269,11 @@ impl TrackCtx<'_> {
     ) {
         let entry = match origin {
             Some(o) => StateEntry { state, ..o },
-            None => StateEntry { state, origin_loc: self.loc, origin_id: self.inst_id },
+            None => StateEntry {
+                state,
+                origin_loc: self.loc,
+                origin_id: self.inst_id,
+            },
         };
         self.stats.typestates_aware += 1;
         self.stats.typestates_unaware += (self.set_size)(key).max(1) as u64;

@@ -3,12 +3,14 @@
 //! produce PIR from their own front-ends (e.g. an LLVM-bitcode importer).
 
 use pata_core::{AnalysisConfig, BugKind, Pata};
-use pata_ir::{
-    CmpOp, ConstVal, FunctionBuilder, Module, Operand, Type,
-};
+use pata_ir::{CmpOp, ConstVal, FunctionBuilder, Module, Operand, Type};
 
 fn analyze(module: Module) -> pata_core::AnalysisOutcome {
-    Pata::new(AnalysisConfig { threads: 1, ..AnalysisConfig::all_checkers() }).analyze(module)
+    Pata::new(AnalysisConfig {
+        threads: 1,
+        ..AnalysisConfig::all_checkers()
+    })
+    .analyze(module)
 }
 
 /// Hand-builds the paper's Fig. 7 `foo`/`bar` pair with a null dereference:
@@ -43,7 +45,13 @@ fn fig7_hand_built_ir() {
     let cond = b.temp(Type::Bool);
     b.gep(r, p, s_field, 2);
     b.load(t, r, 3);
-    b.cmp(cond, CmpOp::Eq, Operand::Var(t), Operand::Const(ConstVal::Null), 4);
+    b.cmp(
+        cond,
+        CmpOp::Eq,
+        Operand::Var(t),
+        Operand::Const(ConstVal::Null),
+        4,
+    );
     let then_bb = b.new_block();
     let else_bb = b.new_block();
     b.branch(cond, then_bb, else_bb, 4);
@@ -56,8 +64,11 @@ fn fig7_hand_built_ir() {
 
     assert!(pata_ir::verify_module(&m).is_ok());
     let out = analyze(m);
-    let npd: Vec<_> =
-        out.reports.iter().filter(|r| r.kind == BugKind::NullPointerDeref).collect();
+    let npd: Vec<_> = out
+        .reports
+        .iter()
+        .filter(|r| r.kind == BugKind::NullPointerDeref)
+        .collect();
     assert_eq!(npd.len(), 1, "{:?}", out.reports);
     assert_eq!(npd[0].function, "bar");
     assert_eq!(npd[0].site_line, 12, "the `a = *t` load in bar");
@@ -75,7 +86,13 @@ fn leak_hand_built_ir() {
     let p = b.local("p", Type::ptr(Type::Int));
     b.malloc(p, 2);
     let cond = b.temp(Type::Bool);
-    b.cmp(cond, CmpOp::Lt, Operand::Var(n), Operand::Const(ConstVal::Int(0)), 3);
+    b.cmp(
+        cond,
+        CmpOp::Lt,
+        Operand::Var(n),
+        Operand::Const(ConstVal::Int(0)),
+        3,
+    );
     let early = b.new_block();
     let rest = b.new_block();
     b.branch(cond, early, rest, 3);
@@ -87,7 +104,11 @@ fn leak_hand_built_ir() {
     b.finish();
 
     let out = analyze(m);
-    let ml: Vec<_> = out.reports.iter().filter(|r| r.kind == BugKind::MemoryLeak).collect();
+    let ml: Vec<_> = out
+        .reports
+        .iter()
+        .filter(|r| r.kind == BugKind::MemoryLeak)
+        .collect();
     assert_eq!(ml.len(), 1, "{:?}", out.reports);
     assert_eq!(ml[0].site_line, 4);
 }
@@ -117,7 +138,9 @@ fn store_load_alias_roundtrip_ir() {
 
     let out = analyze(m);
     assert!(
-        out.reports.iter().any(|r| r.kind == BugKind::NullPointerDeref && r.site_line == 5),
+        out.reports
+            .iter()
+            .any(|r| r.kind == BugKind::NullPointerDeref && r.site_line == 5),
         "NULL must survive the store/load roundtrip: {:?}",
         out.reports
     );
@@ -133,7 +156,13 @@ fn exponential_cfg_is_bounded() {
     // 20 sequential diamonds.
     for i in 0..20u32 {
         let c = b.temp(Type::Bool);
-        b.cmp(c, CmpOp::Gt, Operand::Var(x), Operand::Const(ConstVal::Int(i as i64)), i + 1);
+        b.cmp(
+            c,
+            CmpOp::Gt,
+            Operand::Var(x),
+            Operand::Const(ConstVal::Int(i as i64)),
+            i + 1,
+        );
         let t = b.new_block();
         let e = b.new_block();
         let j = b.new_block();
@@ -149,10 +178,16 @@ fn exponential_cfg_is_bounded() {
 
     let config = AnalysisConfig {
         threads: 1,
-        budget: pata_core::PathBudget { max_paths: 100, ..Default::default() },
+        budget: pata_core::PathBudget {
+            max_paths: 100,
+            ..Default::default()
+        },
         ..AnalysisConfig::default()
     };
     let out = Pata::new(config).analyze(m);
-    assert!(out.stats.paths_explored <= 101, "budget must bound exploration");
+    assert!(
+        out.stats.paths_explored <= 101,
+        "budget must bound exploration"
+    );
     assert_eq!(out.stats.budget_exhausted_roots, 1);
 }

@@ -9,12 +9,10 @@
 
 use crate::manifest::{GroundTruth, Manifest};
 use crate::profile::OsProfile;
+use crate::rng::Prng;
 use crate::templates::{self, Ctx, Template};
 use pata_cc::Compiler;
 use pata_ir::{Category, Module};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
 /// One generated source file.
 #[derive(Debug, Clone)]
@@ -41,7 +39,7 @@ pub struct Corpus {
 impl Corpus {
     /// Generates the corpus for `profile` (deterministic per seed).
     pub fn generate(profile: &OsProfile) -> Corpus {
-        let mut rng = StdRng::seed_from_u64(profile.seed);
+        let mut rng = Prng::seed_from_u64(profile.seed);
         let mut files = Vec::new();
         let mut manifest = Manifest::default();
 
@@ -68,12 +66,12 @@ impl Corpus {
                 );
                 let mut picks: Vec<(&'static str, Template, bool)> = Vec::new();
                 if rng.gen_bool(bug_p) {
-                    let &(name, t) = main_bugs.choose(&mut rng).unwrap();
+                    let &(name, t) = rng.choose(&main_bugs);
                     picks.push((name, t, false));
                 }
                 // Extra-checker bugs are sparser (Table 7 scale).
                 if rng.gen_bool(bug_p * 0.25) {
-                    let &(name, t) = extra_bugs.choose(&mut rng).unwrap();
+                    let &(name, t) = rng.choose(&extra_bugs);
                     picks.push((name, t, false));
                 }
                 if rng.gen_bool(trap_p) {
@@ -93,18 +91,18 @@ impl Corpus {
                             std::iter::repeat(t).take(w)
                         })
                         .collect();
-                    let &&(name, t) = weighted.choose(&mut rng).unwrap();
+                    let &&(name, t) = rng.choose(&weighted);
                     picks.push((name, t, true));
                 }
-                let n_clean = rng.gen_range(2..=profile.functions_per_file.max(3));
+                let n_clean = rng.gen_range(2, profile.functions_per_file.max(3) + 1);
                 for _ in 0..n_clean {
-                    let &(name, t) = cleans.choose(&mut rng).unwrap();
+                    let &(name, t) = rng.choose(&cleans);
                     if picks.iter().any(|(n, _, _)| *n == name) {
                         continue; // avoid duplicate function names per file
                     }
                     picks.push((name, t, true /*unused for clean*/));
                 }
-                picks.shuffle(&mut rng);
+                rng.shuffle(&mut picks);
 
                 let (text, entries) = assemble_file(&ctx, &path, category, &picks);
                 for e in entries {
@@ -114,11 +112,19 @@ impl Corpus {
                         manifest.bugs.push(e.0);
                     }
                 }
-                files.push(GeneratedFile { path, text, category });
+                files.push(GeneratedFile {
+                    path,
+                    text,
+                    category,
+                });
                 file_idx += 1;
             }
         }
-        Corpus { profile: profile.clone(), files, manifest }
+        Corpus {
+            profile: profile.clone(),
+            files,
+            manifest,
+        }
     }
 
     /// Compiles the corpus into one PIR module.
@@ -137,17 +143,20 @@ impl Corpus {
 
     /// Total generated lines of code.
     pub fn loc(&self) -> u64 {
-        self.files.iter().map(|f| f.text.lines().count() as u64).sum()
+        self.files
+            .iter()
+            .map(|f| f.text.lines().count() as u64)
+            .sum()
     }
 }
 
-fn module_noun(rng: &mut StdRng) -> &'static str {
+fn module_noun(rng: &mut Prng) -> &'static str {
     const NOUNS: &[&str] = &[
-        "mmc", "uart", "spi", "i2c", "dma", "gpio", "phy", "mac", "vfs", "inode", "sock",
-        "queue", "timer", "sched", "irq", "pm", "clk", "regmap", "bridge", "codec", "sensor",
-        "radio", "mesh", "coap", "mqtt", "shell", "flash", "pwm", "adc", "wdt",
+        "mmc", "uart", "spi", "i2c", "dma", "gpio", "phy", "mac", "vfs", "inode", "sock", "queue",
+        "timer", "sched", "irq", "pm", "clk", "regmap", "bridge", "codec", "sensor", "radio",
+        "mesh", "coap", "mqtt", "shell", "flash", "pwm", "adc", "wdt",
     ];
-    NOUNS[rng.gen_range(0..NOUNS.len())]
+    *rng.choose(NOUNS)
 }
 
 type Entry = (GroundTruth, bool);
@@ -159,7 +168,10 @@ fn assemble_file(
     picks: &[(&'static str, Template, bool)],
 ) -> (String, Vec<Entry>) {
     let mut lines: Vec<String> = Vec::new();
-    lines.push(format!("// Auto-generated module {} ({})", ctx.suffix, category));
+    lines.push(format!(
+        "// Auto-generated module {} ({})",
+        ctx.suffix, category
+    ));
     lines.extend(templates::struct_defs(ctx));
     lines.push(String::new());
 
@@ -246,9 +258,19 @@ mod tests {
     fn manifest_lines_point_at_marked_source() {
         let corpus = Corpus::generate(&OsProfile::tencent().with_scale(0.4));
         for bug in &corpus.manifest.bugs {
-            let file = corpus.files.iter().find(|f| f.path == bug.file).expect("file exists");
+            let file = corpus
+                .files
+                .iter()
+                .find(|f| f.path == bug.file)
+                .expect("file exists");
             let line = file.text.lines().nth(bug.line as usize - 1).unwrap_or("");
-            assert!(!line.trim().is_empty(), "{}: line {} empty in {}", bug.id, bug.line, bug.file);
+            assert!(
+                !line.trim().is_empty(),
+                "{}: line {} empty in {}",
+                bug.id,
+                bug.line,
+                bug.file
+            );
         }
     }
 

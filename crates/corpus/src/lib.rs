@@ -37,8 +37,10 @@
 pub mod generator;
 pub mod manifest;
 pub mod profile;
+pub mod rng;
 pub mod templates;
 
 pub use generator::Corpus;
 pub use manifest::{GroundTruth, Manifest, Score};
 pub use profile::OsProfile;
+pub use rng::Prng;

@@ -8,7 +8,6 @@
 
 use pata_core::{BugKind, BugReport};
 use pata_ir::Category;
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// How many lines a report may deviate from the manifest entry and still
@@ -16,7 +15,7 @@ use std::collections::HashSet;
 const LINE_TOLERANCE: u32 = 4;
 
 /// One ground-truth entry.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GroundTruth {
     /// Stable id (template name + counter).
     pub id: String,
@@ -25,53 +24,49 @@ pub struct GroundTruth {
     /// Function containing the buggy site.
     pub function: String,
     /// Bug type (serialized as the paper's abbreviation).
-    #[serde(with = "kind_serde")]
     pub kind: BugKind,
     /// Line of the buggy operation.
     pub line: u32,
     /// OS part for the Fig. 11 distribution.
-    #[serde(with = "category_serde")]
     pub category: Category,
     /// Which template injected it (for per-pattern diagnostics).
     pub template: String,
 }
 
-mod kind_serde {
-    use pata_core::BugKind;
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(kind: &BugKind, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_str(kind.abbrev())
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
     }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<BugKind, D::Error> {
-        let text = String::deserialize(d)?;
-        BugKind::ALL
-            .into_iter()
-            .find(|k| k.abbrev() == text)
-            .ok_or_else(|| serde::de::Error::custom(format!("unknown bug kind {text}")))
-    }
+    out
 }
 
-mod category_serde {
-    use pata_ir::Category;
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(cat: &Category, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_str(cat.as_str())
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Category, D::Error> {
-        let text = String::deserialize(d)?;
-        Category::ALL
-            .into_iter()
-            .find(|c| c.as_str() == text)
-            .ok_or_else(|| serde::de::Error::custom(format!("unknown category {text}")))
+impl GroundTruth {
+    /// One JSON object line (kind and category use the paper's spellings).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"id\": \"{}\", \"file\": \"{}\", \"function\": \"{}\", \"kind\": \"{}\", \
+             \"line\": {}, \"category\": \"{}\", \"template\": \"{}\"}}",
+            json_escape(&self.id),
+            json_escape(&self.file),
+            json_escape(&self.function),
+            self.kind.abbrev(),
+            self.line,
+            self.category.as_str(),
+            json_escape(&self.template),
+        )
     }
 }
 
 /// The full ground truth for one generated corpus.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Manifest {
     /// Real injected bugs.
     pub bugs: Vec<GroundTruth>,
@@ -80,6 +75,22 @@ pub struct Manifest {
 }
 
 impl Manifest {
+    /// Renders the whole manifest as a JSON document.
+    pub fn to_json(&self) -> String {
+        let render = |entries: &[GroundTruth]| -> String {
+            entries
+                .iter()
+                .map(|e| format!("  {}", e.to_json()))
+                .collect::<Vec<_>>()
+                .join(",\n")
+        };
+        format!(
+            "{{\"bugs\": [\n{}\n], \"traps\": [\n{}\n]}}\n",
+            render(&self.bugs),
+            render(&self.traps)
+        )
+    }
+
     /// Scores a tool's reports against this ground truth.
     pub fn score(&self, reports: &[BugReport]) -> Score {
         let mut matched: HashSet<usize> = HashSet::new();
@@ -139,7 +150,11 @@ impl Score {
 
     fn add_real(&mut self, kind: BugKind, category: Category) {
         Self::bump(&mut self.real, kind);
-        match self.real_by_category.iter_mut().find(|(c, _)| *c == category) {
+        match self
+            .real_by_category
+            .iter_mut()
+            .find(|(c, _)| *c == category)
+        {
             Some((_, n)) => *n += 1,
             None => self.real_by_category.push((category, 1)),
         }
@@ -166,12 +181,20 @@ impl Score {
 
     /// Found count for one kind.
     pub fn found_of(&self, kind: BugKind) -> usize {
-        self.found.iter().find(|(k, _)| *k == kind).map(|(_, n)| *n).unwrap_or(0)
+        self.found
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
     }
 
     /// Real count for one kind.
     pub fn real_of(&self, kind: BugKind) -> usize {
-        self.real.iter().find(|(k, _)| *k == kind).map(|(_, n)| *n).unwrap_or(0)
+        self.real
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
     }
 }
 
@@ -259,14 +282,15 @@ mod tests {
     }
 
     #[test]
-    fn manifest_roundtrips_through_serde() {
+    fn manifest_renders_json() {
         let m = Manifest {
             bugs: vec![truth(BugKind::MemoryLeak, "x.c", 7)],
             traps: vec![truth(BugKind::UninitVarAccess, "y.c", 3)],
         };
-        // serde_json is not in the allowed dependency set; exercise the
-        // Serialize/Deserialize impls through a trivial format instead.
-        let as_debug = format!("{m:?}");
-        assert!(as_debug.contains("MemoryLeak"));
+        let json = m.to_json();
+        assert!(json.contains("\"kind\": \"ML\""), "{json}");
+        assert!(json.contains("\"kind\": \"UVA\""), "{json}");
+        assert!(json.contains("\"file\": \"x.c\""), "{json}");
+        assert!(json.contains("\"line\": 7"), "{json}");
     }
 }

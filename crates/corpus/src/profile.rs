@@ -164,12 +164,20 @@ impl OsProfile {
     /// Bug weight of a category (used to steer injection toward drivers /
     /// third-party modules, matching Fig. 11).
     pub fn bug_share(&self, cat: Category) -> f64 {
-        self.mix.iter().find(|(c, _, _)| *c == cat).map(|(_, _, b)| *b).unwrap_or(0.0)
+        self.mix
+            .iter()
+            .find(|(c, _, _)| *c == cat)
+            .map(|(_, _, b)| *b)
+            .unwrap_or(0.0)
     }
 
     /// File share of a category.
     pub fn file_share(&self, cat: Category) -> f64 {
-        self.mix.iter().find(|(c, _, _)| *c == cat).map(|(_, f, _)| *f).unwrap_or(0.0)
+        self.mix
+            .iter()
+            .find(|(c, _, _)| *c == cat)
+            .map(|(_, f, _)| *f)
+            .unwrap_or(0.0)
     }
 
     /// Path prefix for a category (drives `pata-cc`'s category inference).
@@ -195,7 +203,11 @@ mod tests {
         for p in OsProfile::all() {
             let files: f64 = p.mix.iter().map(|(_, f, _)| f).sum();
             let bugs: f64 = p.mix.iter().map(|(_, _, b)| b).sum();
-            assert!((files - 1.0).abs() < 1e-9, "{}: file shares {files}", p.name);
+            assert!(
+                (files - 1.0).abs() < 1e-9,
+                "{}: file shares {files}",
+                p.name
+            );
             assert!((bugs - 1.0).abs() < 1e-9, "{}: bug shares {bugs}", p.name);
         }
     }

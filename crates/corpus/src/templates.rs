@@ -23,7 +23,11 @@ impl Ctx {
     /// Creates the context for file number `idx`.
     pub fn new(idx: usize) -> Self {
         let suffix = format!("f{idx}");
-        Ctx { suffix: suffix.clone(), dev: format!("dev_{suffix}"), cfg: format!("cfg_{suffix}") }
+        Ctx {
+            suffix: suffix.clone(),
+            dev: format!("dev_{suffix}"),
+            cfg: format!("cfg_{suffix}"),
+        }
     }
 
     fn n(&self, base: &str) -> String {
@@ -163,7 +167,10 @@ fn npd_cross_fn(ctx: &Ctx) -> Snippet {
 fn npd_null_store(ctx: &Ctx) -> Snippet {
     let f = ctx.n("reset");
     let mut s = Snippet::default();
-    s.push(format!("static void {f}(struct {} *d, int hard) {{", ctx.dev));
+    s.push(format!(
+        "static void {f}(struct {} *d, int hard) {{",
+        ctx.dev
+    ));
     s.push("    if (hard) {");
     s.push("        d->res = NULL;");
     s.push("    }");
@@ -199,7 +206,10 @@ fn uva_heap_field(ctx: &Ctx) -> Snippet {
     let mut s = Snippet::default();
     s.push(format!("static int {f}(int n) {{"));
     s.push("    int *stack = tos_mmheap_alloc(n);");
-    s.push(format!("    struct {} *ctl = (struct {} *)stack;", ctx.cfg, ctx.cfg));
+    s.push(format!(
+        "    struct {} *ctl = (struct {} *)stack;",
+        ctx.cfg, ctx.cfg
+    ));
     s.mark(BugKind::UninitVarAccess, &f, false, "uva_heap_field");
     s.push("    int task = ctl->frnd;");
     s.push("    register_task(stack, task);");
@@ -353,7 +363,10 @@ fn ml_never_freed(ctx: &Ctx) -> Snippet {
 fn dl_retry_path(ctx: &Ctx) -> Snippet {
     let f = ctx.n("worker");
     let mut s = Snippet::default();
-    s.push(format!("static int {f}(struct {} *d, int retry) {{", ctx.dev));
+    s.push(format!(
+        "static int {f}(struct {} *d, int retry) {{",
+        ctx.dev
+    ));
     s.push("    spin_lock(&d->lockw);");
     s.push("    if (retry > 3) {");
     s.mark(BugKind::DoubleLock, &f, false, "dl_retry_path");
@@ -431,11 +444,19 @@ fn trap_npd_extern_contract(ctx: &Ctx) -> Snippet {
     let f = ctx.n("attach");
     let mut s = Snippet::default();
     s.push(format!("static int {f}(struct {} *d) {{", ctx.dev));
-    s.push(format!("    struct {} *c = get_cfg_slot(d->state);", ctx.cfg));
+    s.push(format!(
+        "    struct {} *c = get_cfg_slot(d->state);",
+        ctx.cfg
+    ));
     s.push("    if (c == NULL) {");
     s.push("        log_warn(\"impossible by contract\");");
     s.push("    }");
-    s.mark(BugKind::NullPointerDeref, &f, true, "trap_npd_extern_contract");
+    s.mark(
+        BugKind::NullPointerDeref,
+        &f,
+        true,
+        "trap_npd_extern_contract",
+    );
     s.push("    return c->frnd;");
     s.push("}");
     s.interfaces.push(f);
@@ -473,7 +494,12 @@ fn trap_uva_concurrent_init(ctx: &Ctx) -> Snippet {
     s.push("    if (is_dma_ready()) {");
     s.push("        memset(buf, 0, n);");
     s.push("    }");
-    s.mark(BugKind::UninitVarAccess, &f, true, "trap_uva_concurrent_init");
+    s.mark(
+        BugKind::UninitVarAccess,
+        &f,
+        true,
+        "trap_uva_concurrent_init",
+    );
     s.push("    int v = buf[0];");
     s.push("    free(buf);");
     s.push("    return v;");
@@ -495,7 +521,12 @@ fn trap_npd_infeasible_alias(ctx: &Ctx) -> Snippet {
     s.push("    }");
     s.push("    t = d;");
     s.push("    if (t->nlanes != 0) {");
-    s.mark(BugKind::NullPointerDeref, &f, true, "trap_npd_infeasible_alias");
+    s.mark(
+        BugKind::NullPointerDeref,
+        &f,
+        true,
+        "trap_npd_infeasible_alias",
+    );
     s.push("        *q = 1;");
     s.push("    }");
     s.push("}");
@@ -511,7 +542,10 @@ fn trap_ml_callee_free(ctx: &Ctx) -> Snippet {
     s.push(format!("static void {put}(int *b) {{"));
     s.push("    free(b);");
     s.push("}");
-    s.push(format!("static int {send}(struct {} *d, int n) {{", ctx.dev));
+    s.push(format!(
+        "static int {send}(struct {} *d, int n) {{",
+        ctx.dev
+    ));
     s.mark(BugKind::MemoryLeak, &send, true, "trap_ml_callee_free");
     s.push("    int *buf = malloc(n);");
     s.push("    if (buf == NULL) {");
@@ -553,7 +587,12 @@ fn trap_npd_flow_insensitive(ctx: &Ctx) -> Snippet {
     s.push("    if (d->state > 0) {");
     s.push("        p = d->res;");
     s.push("        if (p != NULL) {");
-    s.mark(BugKind::NullPointerDeref, &f, true, "trap_npd_flow_insensitive");
+    s.mark(
+        BugKind::NullPointerDeref,
+        &f,
+        true,
+        "trap_npd_flow_insensitive",
+    );
     s.push("            return *p;");
     s.push("        }");
     s.push("    }");
@@ -676,7 +715,10 @@ fn clean_helper_chain(ctx: &Ctx) -> Snippet {
     s.push("    if (v > hi) { return hi; }");
     s.push("    return v;");
     s.push("}");
-    s.push(format!("static int {scale}(struct {} *d, int k) {{", ctx.dev));
+    s.push(format!(
+        "static int {scale}(struct {} *d, int k) {{",
+        ctx.dev
+    ));
     s.push("    int raw = d->count * k;");
     s.push(format!("    return {clamp}(raw, 0, 4096);"));
     s.push("}");
@@ -769,7 +811,10 @@ fn clean_call_pipeline(ctx: &Ctx) -> Snippet {
     s.push("    cfg->count = cfg->count + 1;");
     s.push("    return cfg->count;");
     s.push("}");
-    s.push(format!("static int {l2}(struct {} *d, int mode) {{", ctx.dev));
+    s.push(format!(
+        "static int {l2}(struct {} *d, int mode) {{",
+        ctx.dev
+    ));
     s.push(format!("    struct {} *cfg = d->user_data;", ctx.cfg));
     s.push("    if (cfg == NULL) {");
     s.push("        return -1;");
@@ -779,7 +824,10 @@ fn clean_call_pipeline(ctx: &Ctx) -> Snippet {
     s.push("    }");
     s.push(format!("    return {l3}(d);"));
     s.push("}");
-    s.push(format!("static int {l1}(struct {} *d, int mode) {{", ctx.dev));
+    s.push(format!(
+        "static int {l1}(struct {} *d, int mode) {{",
+        ctx.dev
+    ));
     s.push(format!("    struct {} *cfg = d->user_data;", ctx.cfg));
     s.push("    if (cfg == NULL) {");
     s.push("        return -1;");
@@ -825,7 +873,10 @@ pub fn extra_bug_templates() -> Vec<(&'static str, Template)> {
 /// False-positive traps.
 pub fn trap_templates() -> Vec<(&'static str, Template)> {
     vec![
-        ("trap_npd_extern_contract", trap_npd_extern_contract as Template),
+        (
+            "trap_npd_extern_contract",
+            trap_npd_extern_contract as Template,
+        ),
         ("trap_npd_loop", trap_npd_loop),
         ("trap_uva_concurrent_init", trap_uva_concurrent_init),
         ("trap_npd_infeasible_alias", trap_npd_infeasible_alias),
@@ -874,17 +925,27 @@ mod tests {
             text.push('\n');
             text.push_str(&snippet.lines.join("\n"));
             let result = pata_cc::compile_one(&format!("{name}.c"), &text);
-            assert!(result.is_ok(), "template {name} fails to compile: {:?}", result.err());
+            assert!(
+                result.is_ok(),
+                "template {name} fails to compile: {:?}",
+                result.err()
+            );
         }
     }
 
     #[test]
     fn bug_templates_mark_exactly_one_real_bug() {
-        for (name, t) in main_bug_templates().into_iter().chain(extra_bug_templates()) {
+        for (name, t) in main_bug_templates()
+            .into_iter()
+            .chain(extra_bug_templates())
+        {
             let s = t(&Ctx::new(1));
             let real: Vec<_> = s.marks.iter().filter(|m| !m.trap).collect();
             assert_eq!(real.len(), 1, "{name}");
-            assert!(real[0].rel_line < s.lines.len(), "{name}: mark out of range");
+            assert!(
+                real[0].rel_line < s.lines.len(),
+                "{name}: mark out of range"
+            );
         }
     }
 

@@ -5,9 +5,7 @@
 //! numbers meaningful.
 
 use pata_core::{AnalysisConfig, BugKind, Pata};
-use pata_corpus::templates::{
-    self, Ctx, Snippet,
-};
+use pata_corpus::templates::{self, Ctx, Snippet};
 
 fn compile_snippet(name: &str, snippet: &Snippet, ctx: &Ctx) -> pata_ir::Module {
     let mut text = templates::struct_defs(ctx).join("\n");
@@ -22,28 +20,47 @@ fn compile_snippet(name: &str, snippet: &Snippet, ctx: &Ctx) -> pata_ir::Module 
         .enumerate()
         .map(|(i, f)| format!(".op{i} = {f}"))
         .collect();
-    text.push_str(&format!("static struct ops_t reg = {{ {} }};\n", fields.join(", ")));
+    text.push_str(&format!(
+        "static struct ops_t reg = {{ {} }};\n",
+        fields.join(", ")
+    ));
     pata_cc::compile_one(&format!("{name}.c"), &text).expect("template compiles")
 }
 
 fn pata_kinds(module: pata_ir::Module, all: bool) -> Vec<BugKind> {
     let config = if all {
-        AnalysisConfig { threads: 1, ..AnalysisConfig::all_checkers() }
+        AnalysisConfig {
+            threads: 1,
+            ..AnalysisConfig::all_checkers()
+        }
     } else {
-        AnalysisConfig { threads: 1, ..AnalysisConfig::default() }
+        AnalysisConfig {
+            threads: 1,
+            ..AnalysisConfig::default()
+        }
     };
-    Pata::new(config).analyze(module).reports.iter().map(|r| r.kind).collect()
+    Pata::new(config)
+        .analyze(module)
+        .reports
+        .iter()
+        .map(|r| r.kind)
+        .collect()
 }
 
 #[test]
 fn every_bug_template_is_found_by_pata() {
     let ctx = Ctx::new(7);
-    for (name, template) in
-        templates::main_bug_templates().into_iter().chain(templates::extra_bug_templates())
+    for (name, template) in templates::main_bug_templates()
+        .into_iter()
+        .chain(templates::extra_bug_templates())
     {
         let snippet = template(&ctx);
-        let expected: Vec<BugKind> =
-            snippet.marks.iter().filter(|m| !m.trap).map(|m| m.kind).collect();
+        let expected: Vec<BugKind> = snippet
+            .marks
+            .iter()
+            .filter(|m| !m.trap)
+            .map(|m| m.kind)
+            .collect();
         let module = compile_snippet(name, &snippet, &ctx);
         let found = pata_kinds(module, true);
         for kind in &expected {
@@ -62,7 +79,10 @@ fn clean_templates_produce_no_reports() {
         let snippet = template(&ctx);
         let module = compile_snippet(name, &snippet, &ctx);
         let found = pata_kinds(module, true);
-        assert!(found.is_empty(), "clean template {name} must be silent; got {found:?}");
+        assert!(
+            found.is_empty(),
+            "clean template {name} must be silent; got {found:?}"
+        );
     }
 }
 

@@ -5,9 +5,7 @@
 //! and switch blocks.
 
 use crate::function::{Block, BlockId, Function, VarId, VarInfo, VarKind};
-use crate::inst::{
-    BinOp, Callee, CmpOp, ConstVal, Inst, InstKind, Loc, Operand, Terminator,
-};
+use crate::inst::{BinOp, Callee, CmpOp, ConstVal, Inst, InstKind, Loc, Operand, Terminator};
 use crate::intern::Symbol;
 use crate::module::{Category, FileId, FuncId, Module};
 use crate::types::Type;
@@ -119,7 +117,12 @@ impl<'m> FunctionBuilder<'m> {
     pub fn temp(&mut self, ty: Type) -> VarId {
         let name = format!("t{}", self.temp_counter);
         self.temp_counter += 1;
-        self.module.add_var(VarInfo { name, ty, kind: VarKind::Temp, func: Some(self.id) })
+        self.module.add_var(VarInfo {
+            name,
+            ty,
+            kind: VarKind::Temp,
+            func: Some(self.id),
+        })
     }
 
     /// Creates a new (empty) block and returns its id without switching.
@@ -156,7 +159,9 @@ impl<'m> FunctionBuilder<'m> {
             return;
         }
         let loc = self.loc(line);
-        self.blocks[self.current.index()].insts.push(Inst::new(kind, loc));
+        self.blocks[self.current.index()]
+            .insts
+            .push(Inst::new(kind, loc));
     }
 
     /// `dst = src`.
@@ -176,7 +181,13 @@ impl<'m> FunctionBuilder<'m> {
 
     /// `*addr = val`.
     pub fn store(&mut self, addr: VarId, val: impl Into<Operand>, line: u32) {
-        self.push(InstKind::Store { addr, val: val.into() }, line);
+        self.push(
+            InstKind::Store {
+                addr,
+                val: val.into(),
+            },
+            line,
+        );
     }
 
     /// `dst = &base->field`.
@@ -196,7 +207,14 @@ impl<'m> FunctionBuilder<'m> {
 
     /// `dst = &base[index]`.
     pub fn index(&mut self, dst: VarId, base: VarId, index: impl Into<Operand>, line: u32) {
-        self.push(InstKind::Index { dst, base, index: index.into() }, line);
+        self.push(
+            InstKind::Index {
+                dst,
+                base,
+                index: index.into(),
+            },
+            line,
+        );
     }
 
     /// `dst = lhs op rhs`.
@@ -208,7 +226,15 @@ impl<'m> FunctionBuilder<'m> {
         rhs: impl Into<Operand>,
         line: u32,
     ) {
-        self.push(InstKind::Bin { dst, op, lhs: lhs.into(), rhs: rhs.into() }, line);
+        self.push(
+            InstKind::Bin {
+                dst,
+                op,
+                lhs: lhs.into(),
+                rhs: rhs.into(),
+            },
+            line,
+        );
     }
 
     /// `dst = lhs op rhs` (comparison).
@@ -220,7 +246,15 @@ impl<'m> FunctionBuilder<'m> {
         rhs: impl Into<Operand>,
         line: u32,
     ) {
-        self.push(InstKind::Cmp { dst, op, lhs: lhs.into(), rhs: rhs.into() }, line);
+        self.push(
+            InstKind::Cmp {
+                dst,
+                op,
+                lhs: lhs.into(),
+                rhs: rhs.into(),
+            },
+            line,
+        );
     }
 
     /// `dst = callee(args…)`.
@@ -278,7 +312,14 @@ impl<'m> FunctionBuilder<'m> {
 
     /// Conditional branch on `cond`.
     pub fn branch(&mut self, cond: VarId, then_bb: BlockId, else_bb: BlockId, line: u32) {
-        self.terminate(Terminator::Branch { cond, then_bb, else_bb }, line);
+        self.terminate(
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            },
+            line,
+        );
     }
 
     /// Return, with optional value.

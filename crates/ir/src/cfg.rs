@@ -26,7 +26,11 @@ impl Cfg {
                 preds[s.index()].push(BlockId::from_index(bi));
             }
         }
-        Cfg { succs, preds, entry: func.entry() }
+        Cfg {
+            succs,
+            preds,
+            entry: func.entry(),
+        }
     }
 
     /// The entry block.
@@ -112,7 +116,10 @@ impl ReversePostorder {
         for (i, b) in postorder.iter().enumerate() {
             position[b.index()] = Some(i);
         }
-        ReversePostorder { order: postorder, position }
+        ReversePostorder {
+            order: postorder,
+            position,
+        }
     }
 
     /// The blocks in reverse postorder.
@@ -148,7 +155,13 @@ mod tests {
         let mut b = FunctionBuilder::new(&mut m, "diamond", file);
         let p = b.param("p", Type::Int);
         let c = b.temp(Type::Bool);
-        b.cmp(c, CmpOp::Eq, Operand::Var(p), Operand::Const(ConstVal::Int(0)), 1);
+        b.cmp(
+            c,
+            CmpOp::Eq,
+            Operand::Var(p),
+            Operand::Const(ConstVal::Int(0)),
+            1,
+        );
         let t = b.new_block();
         let e = b.new_block();
         let j = b.new_block();
@@ -196,7 +209,13 @@ mod tests {
         b.jump(header, 1);
         b.switch_to(header);
         let c = b.temp(Type::Bool);
-        b.cmp(c, CmpOp::Lt, Operand::Var(i), Operand::Const(ConstVal::Int(10)), 2);
+        b.cmp(
+            c,
+            CmpOp::Lt,
+            Operand::Var(i),
+            Operand::Const(ConstVal::Int(10)),
+            2,
+        );
         b.branch(c, body, exit, 2);
         b.switch_to(body);
         b.jump(header, 3);

@@ -95,7 +95,11 @@ pub struct Block {
 impl Block {
     /// An empty block ending in `Unreachable` (builder patches it later).
     pub fn new() -> Self {
-        Block { insts: Vec::new(), term: Terminator::Unreachable, term_loc: Loc::default() }
+        Block {
+            insts: Vec::new(),
+            term: Terminator::Unreachable,
+            term_loc: Loc::default(),
+        }
     }
 }
 
@@ -206,8 +210,8 @@ impl Function {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::module::Module;
     use crate::builder::FunctionBuilder;
+    use crate::module::Module;
 
     #[test]
     fn inst_ids_cover_terminators() {
@@ -222,6 +226,9 @@ mod tests {
         let ids: Vec<_> = func.inst_ids().collect();
         // one Alloca + one Const + one terminator
         assert_eq!(ids.len(), func.inst_count());
-        assert_eq!(ids.last().unwrap().inst, func.block(func.entry()).insts.len());
+        assert_eq!(
+            ids.last().unwrap().inst,
+            func.block(func.entry()).insts.len()
+        );
     }
 }

@@ -51,7 +51,13 @@ pub struct InstId {
 
 impl fmt::Display for InstId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "f{}.b{}.i{}", self.func.index(), self.block.index(), self.inst)
+        write!(
+            f,
+            "f{}.b{}.i{}",
+            self.func.index(),
+            self.block.index(),
+            self.inst
+        )
     }
 }
 
@@ -530,7 +536,9 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Terminator::Jump(b) => vec![*b],
-            Terminator::Branch { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
             Terminator::Ret(_) | Terminator::Unreachable => vec![],
         }
     }
@@ -542,7 +550,14 @@ mod tests {
 
     #[test]
     fn cmp_negate_is_involution() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.negate().negate(), op);
         }
     }
@@ -550,7 +565,14 @@ mod tests {
     #[test]
     fn cmp_eval_matches_negate() {
         let samples = [(0, 0), (1, 2), (-3, 5), (7, -7), (i64::MAX, i64::MIN)];
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             for (a, b) in samples {
                 assert_eq!(op.eval(a, b), !op.negate().eval(a, b));
                 assert_eq!(op.eval(a, b), op.swap().eval(b, a));
@@ -566,11 +588,17 @@ mod tests {
         assert_eq!(mv.def(), Some(d));
         assert_eq!(mv.uses(), vec![s]);
 
-        let st = InstKind::Store { addr: d, val: Operand::Var(s) };
+        let st = InstKind::Store {
+            addr: d,
+            val: Operand::Var(s),
+        };
         assert_eq!(st.def(), None);
         assert_eq!(st.uses(), vec![d, s]);
 
-        let c = InstKind::Const { dst: d, value: ConstVal::Null };
+        let c = InstKind::Const {
+            dst: d,
+            value: ConstVal::Null,
+        };
         assert_eq!(c.def(), Some(d));
         assert!(c.uses().is_empty());
     }
@@ -580,7 +608,11 @@ mod tests {
         let b0 = BlockId::from_index(0);
         let b1 = BlockId::from_index(1);
         assert_eq!(Terminator::Jump(b0).successors(), vec![b0]);
-        let br = Terminator::Branch { cond: VarId::from_index(0), then_bb: b0, else_bb: b1 };
+        let br = Terminator::Branch {
+            cond: VarId::from_index(0),
+            then_bb: b0,
+            else_bb: b1,
+        };
         assert_eq!(br.successors(), vec![b0, b1]);
         assert!(Terminator::Ret(None).successors().is_empty());
     }

@@ -52,9 +52,7 @@ mod verify;
 pub use builder::FunctionBuilder;
 pub use cfg::{Cfg, ReversePostorder};
 pub use function::{Block, BlockId, Function, VarId, VarInfo, VarKind};
-pub use inst::{
-    BinOp, Callee, CmpOp, ConstVal, Inst, InstId, InstKind, Loc, Operand, Terminator,
-};
+pub use inst::{BinOp, Callee, CmpOp, ConstVal, Inst, InstId, InstKind, Loc, Operand, Terminator};
 pub use intern::{Interner, Symbol};
 pub use module::{Category, FileId, FuncId, Module, SourceFile, StructDef, StructId};
 pub use printer::print_module;

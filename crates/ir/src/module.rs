@@ -129,7 +129,10 @@ pub struct StructDef {
 impl StructDef {
     /// Looks up a field's type by name.
     pub fn field_ty(&self, field: Symbol) -> Option<&Type> {
-        self.fields.iter().find(|(f, _)| *f == field).map(|(_, t)| t)
+        self.fields
+            .iter()
+            .find(|(f, _)| *f == field)
+            .map(|(_, t)| t)
     }
 
     /// Number of fields.
@@ -172,14 +175,22 @@ impl Module {
     /// Registers a source file and returns its id.
     pub fn add_file(&mut self, name: &str) -> FileId {
         let id = FileId::from_index(self.files.len());
-        self.files.push(SourceFile { name: name.to_owned(), lines: 0, category: Category::Other });
+        self.files.push(SourceFile {
+            name: name.to_owned(),
+            lines: 0,
+            category: Category::Other,
+        });
         id
     }
 
     /// Registers a source file with line count and category.
     pub fn add_file_with_meta(&mut self, name: &str, lines: u32, category: Category) -> FileId {
         let id = FileId::from_index(self.files.len());
-        self.files.push(SourceFile { name: name.to_owned(), lines, category });
+        self.files.push(SourceFile {
+            name: name.to_owned(),
+            lines,
+            category,
+        });
         id
     }
 
@@ -324,7 +335,10 @@ mod tests {
     fn struct_registration_and_lookup() {
         let mut m = Module::new();
         let f = m.interner.intern("frnd");
-        let id = m.add_struct(StructDef { name: "bt_mesh_cfg_srv".into(), fields: vec![(f, Type::Int)] });
+        let id = m.add_struct(StructDef {
+            name: "bt_mesh_cfg_srv".into(),
+            fields: vec![(f, Type::Int)],
+        });
         assert_eq!(m.struct_by_name("bt_mesh_cfg_srv"), Some(id));
         assert_eq!(m.struct_def(id).field_ty(f), Some(&Type::Int));
         assert_eq!(m.struct_def(id).field_count(), 1);
@@ -334,9 +348,15 @@ mod tests {
     #[test]
     fn redefining_struct_keeps_id() {
         let mut m = Module::new();
-        let id1 = m.add_struct(StructDef { name: "s".into(), fields: vec![] });
+        let id1 = m.add_struct(StructDef {
+            name: "s".into(),
+            fields: vec![],
+        });
         let f = m.interner.intern("x");
-        let id2 = m.add_struct(StructDef { name: "s".into(), fields: vec![(f, Type::Int)] });
+        let id2 = m.add_struct(StructDef {
+            name: "s".into(),
+            fields: vec![(f, Type::Int)],
+        });
         assert_eq!(id1, id2);
         assert_eq!(m.struct_def(id1).field_count(), 1);
     }

@@ -27,8 +27,11 @@ fn fmt_var(m: &Module, v: crate::function::VarId) -> String {
 }
 
 fn print_function(m: &Module, f: &Function, out: &mut String) {
-    let params: Vec<String> =
-        f.params().iter().map(|&p| format!("{}: {}", fmt_var(m, p), m.var(p).ty)).collect();
+    let params: Vec<String> = f
+        .params()
+        .iter()
+        .map(|&p| format!("{}: {}", fmt_var(m, p), m.var(p).ty))
+        .collect();
     let _ = writeln!(
         out,
         "fn {}({}) -> {} {}{{",
@@ -116,7 +119,11 @@ fn print_function(m: &Module, f: &Function, out: &mut String) {
         }
         let term = match &block.term {
             Terminator::Jump(b) => format!("jump bb{}", b.index()),
-            Terminator::Branch { cond, then_bb, else_bb } => format!(
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => format!(
                 "br {} ? bb{} : bb{}",
                 fmt_var(m, *cond),
                 then_bb.index(),
@@ -149,8 +156,11 @@ fn print_function(m: &Module, f: &Function, out: &mut String) {
 pub fn print_module(m: &Module) -> String {
     let mut out = String::new();
     for s in m.structs() {
-        let fields: Vec<String> =
-            s.fields.iter().map(|(f, t)| format!("{}: {t}", m.interner.resolve(*f))).collect();
+        let fields: Vec<String> = s
+            .fields
+            .iter()
+            .map(|(f, t)| format!("{}: {t}", m.interner.resolve(*f)))
+            .collect();
         let _ = writeln!(out, "struct {} {{ {} }}", s.name, fields.join(", "));
     }
     for f in m.functions() {

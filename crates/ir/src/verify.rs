@@ -53,14 +53,29 @@ pub enum VerifyError {
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            VerifyError::BadBlockTarget { func, block, target } => {
-                write!(f, "function {func}: bb{block} targets nonexistent bb{target}")
+            VerifyError::BadBlockTarget {
+                func,
+                block,
+                target,
+            } => {
+                write!(
+                    f,
+                    "function {func}: bb{block} targets nonexistent bb{target}"
+                )
             }
             VerifyError::UnterminatedBlock { func, block } => {
                 write!(f, "function {func}: reachable bb{block} is unterminated")
             }
-            VerifyError::ForeignVariable { func, block, inst, var } => {
-                write!(f, "function {func}: bb{block}/i{inst} references foreign variable {var}")
+            VerifyError::ForeignVariable {
+                func,
+                block,
+                inst,
+                var,
+            } => {
+                write!(
+                    f,
+                    "function {func}: bb{block}/i{inst} references foreign variable {var}"
+                )
             }
             VerifyError::DanglingVariable { func, var } => {
                 write!(f, "function {func}: variable id {var} out of range")
@@ -90,9 +105,7 @@ pub fn verify_function(module: &Module, func: &Function, errors: &mut Vec<Verify
     let cfg = Cfg::new(func);
     let reachable = cfg.reachable();
     for (bi, block) in func.blocks().iter().enumerate() {
-        if reachable[bi]
-            && matches!(block.term, Terminator::Unreachable)
-            && !block.insts.is_empty()
+        if reachable[bi] && matches!(block.term, Terminator::Unreachable) && !block.insts.is_empty()
         {
             errors.push(VerifyError::UnterminatedBlock {
                 func: func.name().to_owned(),
@@ -183,7 +196,9 @@ mod tests {
         b2.ret(None, 2);
         b2.finish();
         let errs = verify_module(&m).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, VerifyError::ForeignVariable { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, VerifyError::ForeignVariable { .. })));
     }
 
     #[test]
@@ -208,6 +223,8 @@ mod tests {
         // never terminated
         b.finish();
         let errs = verify_module(&m).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, VerifyError::UnterminatedBlock { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, VerifyError::UnterminatedBlock { .. })));
     }
 }

@@ -27,7 +27,10 @@ impl LinExpr {
 
     /// A constant expression.
     pub fn constant(v: i64) -> Self {
-        LinExpr { coeffs: BTreeMap::new(), konst: v }
+        LinExpr {
+            coeffs: BTreeMap::new(),
+            konst: v,
+        }
     }
 
     /// A single-symbol expression.
@@ -156,7 +159,11 @@ pub fn linearize<I: OpaqueInterner>(term: &Term, interner: &mut I) -> LinExpr {
             } else if let Some(k) = lb.as_const() {
                 la.scale(k)
             } else {
-                let key = OpaqueKey { op: OpaqueOp::Mul, lhs: canon(&la), rhs: canon(&lb) };
+                let key = OpaqueKey {
+                    op: OpaqueOp::Mul,
+                    lhs: canon(&la),
+                    rhs: canon(&lb),
+                };
                 LinExpr::symbol(interner.opaque_symbol(key))
             }
         }
@@ -170,7 +177,11 @@ pub fn linearize<I: OpaqueInterner>(term: &Term, interner: &mut I) -> LinExpr {
                     return LinExpr::constant(v);
                 }
             }
-            let key = OpaqueKey { op: *op, lhs: canon(&la), rhs: canon(&lb) };
+            let key = OpaqueKey {
+                op: *op,
+                lhs: canon(&la),
+                rhs: canon(&lb),
+            };
             LinExpr::symbol(interner.opaque_symbol(key))
         }
     }
@@ -213,7 +224,10 @@ mod tests {
 
     impl TestInterner {
         fn new() -> Self {
-            TestInterner { next: 1000, map: HashMap::new() }
+            TestInterner {
+                next: 1000,
+                map: HashMap::new(),
+            }
         }
     }
 
@@ -232,7 +246,9 @@ mod tests {
         let mut i = TestInterner::new();
         // (x + 1) - (x - 2) == 3
         let x = SymId(0);
-        let t = Term::sym(x).add(Term::int(1)).sub(Term::sym(x).sub(Term::int(2)));
+        let t = Term::sym(x)
+            .add(Term::int(1))
+            .sub(Term::sym(x).sub(Term::int(2)));
         let lin = linearize(&t, &mut i);
         assert_eq!(lin.as_const(), Some(3));
     }

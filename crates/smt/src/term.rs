@@ -198,14 +198,23 @@ mod tests {
 
     #[test]
     fn negate_involution() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.negate().negate(), op);
         }
     }
 
     #[test]
     fn term_builders_display() {
-        let t = Term::sym(SymId(0)).add(Term::int(1)).sub(Term::sym(SymId(1)));
+        let t = Term::sym(SymId(0))
+            .add(Term::int(1))
+            .sub(Term::sym(SymId(1)));
         assert_eq!(t.to_string(), "((x0 + 1) - x1)");
     }
 }

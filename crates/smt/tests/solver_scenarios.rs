@@ -56,7 +56,11 @@ fn npd_branch_shape_feasible() {
     let (p, state, count) = (syms[0], syms[1], syms[2]);
     s.assert_cmp(CmpOp::Eq, Term::sym(p), Term::int(0));
     s.assert_cmp(CmpOp::Gt, Term::sym(state), Term::int(2));
-    s.assert_cmp(CmpOp::Eq, Term::sym(count), Term::sym(state).add(Term::int(1)));
+    s.assert_cmp(
+        CmpOp::Eq,
+        Term::sym(count),
+        Term::sym(state).add(Term::int(1)),
+    );
     assert_eq!(s.check(), SatResult::Sat);
 }
 
@@ -89,7 +93,11 @@ fn subtraction_and_negation() {
 fn multiplication_by_negative_constant() {
     let (mut s, syms) = solver_with(1);
     // -2x <= -10  ⇒  x >= 5.
-    s.assert_cmp(CmpOp::Le, Term::sym(syms[0]).mul(Term::int(-2)), Term::int(-10));
+    s.assert_cmp(
+        CmpOp::Le,
+        Term::sym(syms[0]).mul(Term::int(-2)),
+        Term::int(-10),
+    );
     s.assert_cmp(CmpOp::Lt, Term::sym(syms[0]), Term::int(5));
     assert_eq!(s.check(), SatResult::Unsat);
 }

@@ -98,7 +98,10 @@ fn main() {
 
     println!("Unchecked-allocation checker reports:");
     for r in &outcome.reports {
-        println!("  `{}` line {}: allocation dereferenced before a NULL check", r.function, r.site_line);
+        println!(
+            "  `{}` line {}: allocation dereferenced before a NULL check",
+            r.function, r.site_line
+        );
     }
     assert_eq!(outcome.reports.len(), 1);
     assert_eq!(outcome.reports[0].function, "rx_bad");

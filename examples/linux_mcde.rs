@@ -63,5 +63,8 @@ fn main() {
         "PATA reports the distinct d->mdsi dereferences (got {})",
         npd.len()
     );
-    println!("\n{} report(s) — the paper's fix guards the mcde_dsi_start call.", npd.len());
+    println!(
+        "\n{} report(s) — the paper's fix guards the mcde_dsi_start call.",
+        npd.len()
+    );
 }

@@ -40,17 +40,31 @@ fn main() {
     println!("\nAnalysis (paper Table 5 counters):");
     println!("  interface-function roots : {}", s.roots);
     println!("  paths explored           : {}", s.paths_explored);
-    println!("  typestates aware/unaware : {}/{}", s.typestates_aware, s.typestates_unaware);
-    println!("  constraints aware/unaware: {}/{}", s.constraints_aware, s.constraints_unaware);
+    println!(
+        "  typestates aware/unaware : {}/{}",
+        s.typestates_aware, s.typestates_unaware
+    );
+    println!(
+        "  constraints aware/unaware: {}/{}",
+        s.constraints_aware, s.constraints_unaware
+    );
     println!("  repeated bugs dropped    : {}", s.repeated_bugs_dropped);
     println!("  false bugs dropped       : {}", s.false_bugs_dropped);
     println!("  wall time                : {:?}", s.time);
 
     let score = corpus.manifest.score(&outcome.reports);
     println!("\nScoring against ground truth:");
-    println!("  found: {}  real: {}  FPs: {}  missed: {}",
-        score.total_found(), score.total_real(), score.false_positives, score.missed);
-    println!("  false-positive rate: {:.1}% (paper: 28%)", 100.0 * score.false_positive_rate());
+    println!(
+        "  found: {}  real: {}  FPs: {}  missed: {}",
+        score.total_found(),
+        score.total_real(),
+        score.false_positives,
+        score.missed
+    );
+    println!(
+        "  false-positive rate: {:.1}% (paper: 28%)",
+        100.0 * score.false_positive_rate()
+    );
 
     println!("\nSample reports:");
     for r in outcome.reports.iter().take(8) {

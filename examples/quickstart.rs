@@ -34,13 +34,15 @@ fn main() {
         };
     "#;
 
-    let module = pata::cc::compile_one("drivers/my_dev.c", source)
-        .expect("the snippet is valid mini-C");
+    let module =
+        pata::cc::compile_one("drivers/my_dev.c", source).expect("the snippet is valid mini-C");
 
     let outcome = Pata::new(AnalysisConfig::default()).analyze(module);
 
-    println!("PATA analyzed {} paths across {} interface functions\n",
-        outcome.stats.paths_explored, outcome.stats.roots);
+    println!(
+        "PATA analyzed {} paths across {} interface functions\n",
+        outcome.stats.paths_explored, outcome.stats.roots
+    );
     for report in &outcome.reports {
         println!("  {report}");
     }

@@ -42,9 +42,8 @@ const CFG_SRV: &str = r#"
 "#;
 
 fn main() {
-    let compile = || {
-        pata::cc::compile_one("subsys/bluetooth/cfg_srv.c", CFG_SRV).expect("valid mini-C")
-    };
+    let compile =
+        || pata::cc::compile_one("subsys/bluetooth/cfg_srv.c", CFG_SRV).expect("valid mini-C");
 
     println!("== PATA (path-based alias analysis) ==");
     let outcome = Pata::new(AnalysisConfig::default()).analyze(compile());
@@ -64,7 +63,11 @@ fn main() {
         .reports
         .iter()
         .any(|r| r.kind == BugKind::NullPointerDeref && r.function == "send_friend_status");
-    println!("  {} report(s); cross-function bug found: {}", na.reports.len(), na_found);
+    println!(
+        "  {} report(s); cross-function bug found: {}",
+        na.reports.len(),
+        na_found
+    );
     assert!(!na_found, "without alias analysis the bug is invisible");
     println!("  -> missed, as the paper's sensitivity study predicts");
 }

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Tier-1 CI: formatting, release build, full test suite. Fully offline —
+# the workspace has zero external dependencies (see Cargo.lock: workspace
+# members only), so no registry access is ever needed.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "CI OK"

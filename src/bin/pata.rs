@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! pata analyze <file.c>... [--checkers npd,uva,ml,dl,aiu,dbz,uaf] [--na]
-//!              [--no-validate] [--resolve-fptrs] [--loops N]
-//!              [--threads N] [--json] [--stats]
+//!              [--no-validate] [--no-validation-cache] [--resolve-fptrs]
+//!              [--loops N] [--threads N] [--json] [--stats]
 //! pata corpus <linux|zephyr|riot|tencent> [--scale F] [--seed N] --out DIR
 //! pata ir <file.c>...
 //! pata fsm
@@ -15,7 +15,6 @@
 //! * `ir`      — dump the lowered PIR of the given sources.
 //! * `fsm`     — print every built-in checker's FSM (paper Table 2/7).
 
-use pata::core::typestate::Checker;
 use pata::core::{AnalysisConfig, BugKind, Pata};
 use pata::corpus::{Corpus, OsProfile};
 use std::io::Write;
@@ -51,7 +50,8 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   pata analyze <file.c>... [--checkers LIST] [--na] [--no-validate]
-               [--resolve-fptrs] [--loops N] [--threads N] [--json] [--stats]
+               [--no-validation-cache] [--resolve-fptrs] [--loops N]
+               [--threads N] [--json] [--stats]
   pata corpus <linux|zephyr|riot|tencent> [--scale F] [--seed N] --out DIR
   pata ir <file.c>...
   pata fsm";
@@ -110,12 +110,15 @@ fn compile_files(files: &[String]) -> Result<pata_ir::Module, String> {
     }
     let mut cc = pata::cc::Compiler::new();
     for f in files {
-        let text =
-            std::fs::read_to_string(f).map_err(|e| format!("cannot read {f}: {e}"))?;
+        let text = std::fs::read_to_string(f).map_err(|e| format!("cannot read {f}: {e}"))?;
         cc.add_source(f, &text);
     }
     cc.compile().map_err(|diags| {
-        diags.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
     })
 }
 
@@ -146,6 +149,9 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     if flag(&flags, "no-validate").is_some() {
         config.validate_paths = false;
     }
+    if flag(&flags, "no-validation-cache").is_some() {
+        config.validation_cache = false;
+    }
     if flag(&flags, "resolve-fptrs").is_some() {
         config.resolve_fptrs = true;
     }
@@ -154,7 +160,9 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
             n.parse().map_err(|_| format!("bad --loops value `{n}`"))?;
     }
     if let Some(Some(n)) = flag(&flags, "threads") {
-        config.threads = n.parse().map_err(|_| format!("bad --threads value `{n}`"))?;
+        config.threads = n
+            .parse()
+            .map_err(|_| format!("bad --threads value `{n}`"))?;
     }
 
     let module = compile_files(&files)?;
@@ -191,7 +199,10 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     }
     if flag(&flags, "stats").is_some() {
         let s = &outcome.stats;
-        eprintln!("roots: {}  paths: {}  insts: {}", s.roots, s.paths_explored, s.insts_processed);
+        eprintln!(
+            "roots: {}  paths: {}  insts: {}",
+            s.roots, s.paths_explored, s.insts_processed
+        );
         eprintln!(
             "typestates aware/unaware: {}/{}  constraints aware/unaware: {}/{}",
             s.typestates_aware, s.typestates_unaware, s.constraints_aware, s.constraints_unaware
@@ -199,6 +210,13 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         eprintln!(
             "dropped repeated: {}  dropped false: {}  reported: {}  time: {:?}",
             s.repeated_bugs_dropped, s.false_bugs_dropped, s.reported, s.time
+        );
+        eprintln!(
+            "validation cache hits/misses: {}/{}  scope reuse: {}  work steals: {}",
+            s.validation_cache_hits,
+            s.validation_cache_misses,
+            s.validation_scope_reuse,
+            s.work_steals
         );
     }
     Ok(())
@@ -236,23 +254,8 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
     // Ground-truth manifest as JSON.
     let manifest_path = root.join("manifest.json");
     let mut f = std::fs::File::create(&manifest_path).map_err(|e| e.to_string())?;
-    writeln!(f, "{{\"bugs\": [").map_err(|e| e.to_string())?;
-    for (i, b) in corpus.manifest.bugs.iter().enumerate() {
-        let comma = if i + 1 == corpus.manifest.bugs.len() { "" } else { "," };
-        writeln!(
-            f,
-            "  {{\"id\": \"{}\", \"file\": \"{}\", \"function\": \"{}\", \"kind\": \"{}\", \
-             \"line\": {}, \"template\": \"{}\"}}{comma}",
-            json_escape(&b.id),
-            json_escape(&b.file),
-            json_escape(&b.function),
-            b.kind.abbrev(),
-            b.line,
-            json_escape(&b.template),
-        )
+    f.write_all(corpus.manifest.to_json().as_bytes())
         .map_err(|e| e.to_string())?;
-    }
-    writeln!(f, "]}}").map_err(|e| e.to_string())?;
     println!(
         "wrote {} files ({} LOC), {} bugs, {} traps -> {}",
         corpus.files.len(),

@@ -6,7 +6,11 @@ use pata::core::{AnalysisConfig, AnalysisOutcome, BugKind, Pata};
 
 fn analyze(src: &str) -> AnalysisOutcome {
     let module = pata::cc::compile_one("scenario.c", src).expect("scenario compiles");
-    Pata::new(AnalysisConfig { threads: 1, ..AnalysisConfig::all_checkers() }).analyze(module)
+    Pata::new(AnalysisConfig {
+        threads: 1,
+        ..AnalysisConfig::all_checkers()
+    })
+    .analyze(module)
 }
 
 fn kinds(out: &AnalysisOutcome) -> Vec<BugKind> {
@@ -455,7 +459,11 @@ fn contradictory_int_guards_filtered() {
         }
         "#,
     );
-    assert!(!kinds(&out).contains(&BugKind::NullPointerDeref), "{:?}", out.reports);
+    assert!(
+        !kinds(&out).contains(&BugKind::NullPointerDeref),
+        "{:?}",
+        out.reports
+    );
     assert!(out.stats.false_bugs_dropped >= 1);
 }
 
@@ -478,7 +486,11 @@ fn arithmetic_chain_feasibility() {
         }
         "#,
     );
-    assert!(!kinds(&out).contains(&BugKind::NullPointerDeref), "{:?}", out.reports);
+    assert!(
+        !kinds(&out).contains(&BugKind::NullPointerDeref),
+        "{:?}",
+        out.reports
+    );
 }
 
 #[test]
@@ -499,7 +511,11 @@ fn feasible_arithmetic_kept() {
         }
         "#,
     );
-    assert!(kinds(&out).contains(&BugKind::NullPointerDeref), "{:?}", out.reports);
+    assert!(
+        kinds(&out).contains(&BugKind::NullPointerDeref),
+        "{:?}",
+        out.reports
+    );
 }
 
 // ====================================================================
@@ -524,8 +540,11 @@ fn bug_in_helper_reached_only_via_root() {
         }
         "#,
     );
-    let npd: Vec<_> =
-        out.reports.iter().filter(|r| r.kind == BugKind::NullPointerDeref).collect();
+    let npd: Vec<_> = out
+        .reports
+        .iter()
+        .filter(|r| r.kind == BugKind::NullPointerDeref)
+        .collect();
     assert_eq!(npd.len(), 1, "{:?}", out.reports);
     assert_eq!(npd[0].function, "helper");
 }

@@ -6,12 +6,20 @@ use pata::core::{AnalysisConfig, BugKind, Pata};
 
 fn analyze(path: &str, src: &str) -> pata::core::AnalysisOutcome {
     let module = pata::cc::compile_one(path, src).expect("case study compiles");
-    Pata::new(AnalysisConfig { threads: 1, ..AnalysisConfig::default() }).analyze(module)
+    Pata::new(AnalysisConfig {
+        threads: 1,
+        ..AnalysisConfig::default()
+    })
+    .analyze(module)
 }
 
 fn analyze_na(path: &str, src: &str) -> pata::core::AnalysisOutcome {
     let module = pata::cc::compile_one(path, src).expect("case study compiles");
-    Pata::new(AnalysisConfig { threads: 1, ..AnalysisConfig::without_alias() }).analyze(module)
+    Pata::new(AnalysisConfig {
+        threads: 1,
+        ..AnalysisConfig::without_alias()
+    })
+    .analyze(module)
 }
 
 /// Fig. 1 — Linux s5p_mfc_probe: `dev->plat_dev = pdev; if (!dev->plat_dev)
@@ -44,7 +52,11 @@ fn fig1_s5p_mfc_probe() {
         .iter()
         .filter(|r| r.kind == BugKind::NullPointerDeref && r.function == "s5p_mfc_probe")
         .collect();
-    assert!(!npd.is_empty(), "Fig. 1 bug must be found: {:?}", out.reports);
+    assert!(
+        !npd.is_empty(),
+        "Fig. 1 bug must be found: {:?}",
+        out.reports
+    );
 }
 
 /// Fig. 1 under PATA-NA: the alias between `pdev` and `dev->plat_dev` is
@@ -68,7 +80,9 @@ fn fig1_needs_alias_awareness() {
         "#,
     );
     assert!(
-        !out.reports.iter().any(|r| r.kind == BugKind::NullPointerDeref),
+        !out.reports
+            .iter()
+            .any(|r| r.kind == BugKind::NullPointerDeref),
         "PATA-NA cannot connect pdev with dev->plat_dev: {:?}",
         out.reports
     );
@@ -129,7 +143,10 @@ fn fig9_infeasible_path_dropped() {
     "#;
     let pata = analyze("lib/fig9.c", src);
     assert!(
-        !pata.reports.iter().any(|r| r.kind == BugKind::NullPointerDeref),
+        !pata
+            .reports
+            .iter()
+            .any(|r| r.kind == BugKind::NullPointerDeref),
         "PATA must drop the infeasible candidate: {:?}",
         pata.reports
     );
@@ -139,7 +156,9 @@ fn fig9_infeasible_path_dropped() {
     // t->f make the path look feasible — a false positive.
     let na = analyze_na("lib/fig9.c", src);
     assert!(
-        na.reports.iter().any(|r| r.kind == BugKind::NullPointerDeref),
+        na.reports
+            .iter()
+            .any(|r| r.kind == BugKind::NullPointerDeref),
         "PATA-NA reports the Fig. 9 false positive: {:?}",
         na.reports
     );
@@ -178,7 +197,11 @@ fn fig12a_linux_mcde() {
         .filter(|r| r.kind == BugKind::NullPointerDeref && r.function == "mcde_dsi_start")
         .map(|r| r.site_line)
         .collect();
-    assert!(sites.len() >= 2, "each dereference is a distinct bug: {:?}", out.reports);
+    assert!(
+        sites.len() >= 2,
+        "each dereference is a distinct bug: {:?}",
+        out.reports
+    );
 }
 
 /// Fig. 12(b) — Zephyr context_sendto: `dst_addr` can be NULL when msghdr
@@ -232,7 +255,11 @@ fn fig12c_riot_make_message() {
         static struct sys_ops ops = { .fmt = make_message };
         "#,
     );
-    let ml: Vec<_> = out.reports.iter().filter(|r| r.kind == BugKind::MemoryLeak).collect();
+    let ml: Vec<_> = out
+        .reports
+        .iter()
+        .filter(|r| r.kind == BugKind::MemoryLeak)
+        .collect();
     assert_eq!(ml.len(), 1, "{:?}", out.reports);
     assert_eq!(ml[0].function, "make_message");
 }
@@ -301,7 +328,9 @@ fn fig12d_fix_with_memset() {
         "#,
     );
     assert!(
-        !out.reports.iter().any(|r| r.kind == BugKind::UninitVarAccess),
+        !out.reports
+            .iter()
+            .any(|r| r.kind == BugKind::UninitVarAccess),
         "memset initializes the storage: {:?}",
         out.reports
     );

@@ -28,7 +28,10 @@ fn analyze_reports_bug() {
     let dir = std::env::temp_dir().join("pata_cli_analyze");
     std::fs::create_dir_all(&dir).unwrap();
     let file = write_demo(&dir);
-    let out = pata().args(["analyze", file.to_str().unwrap()]).output().unwrap();
+    let out = pata()
+        .args(["analyze", file.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success(), "{out:?}");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("null-pointer-dereference"), "{stdout}");
@@ -66,7 +69,10 @@ fn analyze_checker_selection() {
 
 #[test]
 fn bad_input_fails_cleanly() {
-    let out = pata().args(["analyze", "/nonexistent/nope.c"]).output().unwrap();
+    let out = pata()
+        .args(["analyze", "/nonexistent/nope.c"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("cannot read"));
@@ -94,7 +100,14 @@ fn corpus_writes_files_and_manifest() {
     let dir = std::env::temp_dir().join("pata_cli_corpus");
     let _ = std::fs::remove_dir_all(&dir);
     let out = pata()
-        .args(["corpus", "tencent", "--scale", "0.15", "--out", dir.to_str().unwrap()])
+        .args([
+            "corpus",
+            "tencent",
+            "--scale",
+            "0.15",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
     assert!(out.status.success(), "{out:?}");
@@ -108,7 +121,10 @@ fn ir_dump_contains_functions() {
     let dir = std::env::temp_dir().join("pata_cli_ir");
     std::fs::create_dir_all(&dir).unwrap();
     let file = write_demo(&dir);
-    let out = pata().args(["ir", file.to_str().unwrap()]).output().unwrap();
+    let out = pata()
+        .args(["ir", file.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("fn probe"));

@@ -1,8 +1,10 @@
 //! End-to-end pipeline invariants on generated corpora: the qualitative
 //! claims of the paper's evaluation must hold on every run.
 
-use pata::baselines::{Analyzer, intra::IntraPatternAnalyzer, pata_na::PataNaAnalyzer,
-    svf_null::SvfNullAnalyzer, value_flow::ValueFlowLeakAnalyzer};
+use pata::baselines::{
+    intra::IntraPatternAnalyzer, pata_na::PataNaAnalyzer, svf_null::SvfNullAnalyzer,
+    value_flow::ValueFlowLeakAnalyzer, Analyzer,
+};
 use pata::core::{AnalysisConfig, Pata};
 use pata::corpus::{Corpus, OsProfile};
 
@@ -23,9 +25,7 @@ fn pata_finds_all_injected_main_bugs() {
             .manifest
             .bugs
             .iter()
-            .filter(|b| {
-                pata::core::BugKind::MAIN.contains(&b.kind)
-            })
+            .filter(|b| pata::core::BugKind::MAIN.contains(&b.kind))
             .count();
         assert_eq!(
             score.total_real(),
@@ -97,7 +97,9 @@ fn value_flow_finds_only_leaks() {
     let corpus = small(OsProfile::linux());
     let module = corpus.compile().unwrap();
     let reports = ValueFlowLeakAnalyzer.run(&module);
-    assert!(reports.iter().all(|r| r.kind == pata::core::BugKind::MemoryLeak));
+    assert!(reports
+        .iter()
+        .all(|r| r.kind == pata::core::BugKind::MemoryLeak));
 }
 
 #[test]
@@ -137,8 +139,11 @@ fn validation_drops_false_bugs() {
 fn analysis_is_deterministic_across_runs() {
     let corpus = small(OsProfile::zephyr());
     let run = |threads: usize| {
-        let outcome = Pata::new(AnalysisConfig { threads, ..AnalysisConfig::default() })
-            .analyze(corpus.compile().unwrap());
+        let outcome = Pata::new(AnalysisConfig {
+            threads,
+            ..AnalysisConfig::default()
+        })
+        .analyze(corpus.compile().unwrap());
         let mut keys: Vec<String> = outcome
             .reports
             .iter()
@@ -198,13 +203,17 @@ fn fp_rate_stable_across_seeds() {
             (0.0..0.55).contains(&fp),
             "seed {seed}: FP rate {fp:.2} out of plausible band ({score:?})"
         );
-        assert_eq!(score.missed, {
-            corpus
-                .manifest
-                .bugs
-                .iter()
-                .filter(|b| !pata::core::BugKind::MAIN.contains(&b.kind))
-                .count()
-        }, "seed {seed}: only extra-checker bugs may be missed by the default config");
+        assert_eq!(
+            score.missed,
+            {
+                corpus
+                    .manifest
+                    .bugs
+                    .iter()
+                    .filter(|b| !pata::core::BugKind::MAIN.contains(&b.kind))
+                    .count()
+            },
+            "seed {seed}: only extra-checker bugs may be missed by the default config"
+        );
     }
 }

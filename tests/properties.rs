@@ -1,10 +1,14 @@
-//! Property-based tests (proptest) on the core data structures and the
-//! solver — the invariants the whole analysis relies on.
+//! Randomized property tests (seeded, dependency-free) on the core data
+//! structures and the solver — the invariants the whole analysis relies on.
+//! Each property runs over a fixed number of deterministic cases driven by
+//! the corpus crate's splitmix64 [`Prng`], so failures reproduce exactly.
 
 use pata::core::alias::{AliasGraph, Label};
-use pata::smt::{CmpOp, Solver, SymId, Term};
+use pata::corpus::Prng;
+use pata::smt::{CmpOp, SatResult, Solver, SymId, Term};
 use pata_ir::{Interner, VarId};
-use proptest::prelude::*;
+
+const CASES: u64 = 128;
 
 // ====================================================================
 // Alias-graph invariants
@@ -21,15 +25,22 @@ enum Op {
     Const(u8),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..12, 0u8..12).prop_map(|(a, b)| Op::Move(a, b)),
-        (0u8..12, 0u8..12).prop_map(|(a, b)| Op::Store(a, b)),
-        (0u8..12, 0u8..12).prop_map(|(a, b)| Op::Load(a, b)),
-        (0u8..12, 0u8..12, 0u8..3).prop_map(|(a, b, f)| Op::Gep(a, b, f)),
-        (0u8..12, 0u8..12).prop_map(|(a, b)| Op::AddrOf(a, b)),
-        (0u8..12).prop_map(Op::Const),
-    ]
+fn random_op(rng: &mut Prng) -> Op {
+    let a = rng.gen_range(0, 12) as u8;
+    let b = rng.gen_range(0, 12) as u8;
+    match rng.gen_range(0, 6) {
+        0 => Op::Move(a, b),
+        1 => Op::Store(a, b),
+        2 => Op::Load(a, b),
+        3 => Op::Gep(a, b, rng.gen_range(0, 3) as u8),
+        4 => Op::AddrOf(a, b),
+        _ => Op::Const(a),
+    }
+}
+
+fn random_ops(rng: &mut Prng, lo: usize, hi: usize) -> Vec<Op> {
+    let n = rng.gen_range(lo, hi);
+    (0..n).map(|_| random_op(rng)).collect()
 }
 
 fn apply(g: &mut AliasGraph, fields: &[pata_ir::Symbol], op: &Op) {
@@ -56,124 +67,111 @@ fn apply(g: &mut AliasGraph, fields: &[pata_ir::Symbol], op: &Op) {
     }
 }
 
-/// Structural snapshot for rollback comparison.
-fn snapshot(g: &AliasGraph) -> (Vec<Option<usize>>, Vec<Vec<(Label, usize)>>) {
-    let residence: Vec<Option<usize>> =
-        (0..12).map(|i| g.node_of_var(VarId::from_index(i)).map(|n| n.index())).collect();
-    let edges: Vec<Vec<(Label, usize)>> = (0..g.node_count())
+fn test_fields(interner: &mut Interner) -> Vec<pata_ir::Symbol> {
+    vec![
+        interner.intern("f"),
+        interner.intern("g"),
+        interner.intern("h"),
+    ]
+}
+
+/// Structural snapshot for rollback comparison: per-variable residence and
+/// the sorted out-edge set of every variable's node.
+fn snapshot(g: &AliasGraph) -> (Vec<Option<usize>>, Vec<Vec<(String, usize)>>) {
+    let residence: Vec<Option<usize>> = (0..12)
+        .map(|i| g.node_of_var(VarId::from_index(i)).map(|n| n.index()))
+        .collect();
+    let edges: Vec<Vec<(String, usize)>> = (0..12)
         .map(|i| {
-            let n = g
-                .node_of_var(VarId::from_index(0))
-                .map(|_| ())
-                .map(|_| i)
-                .unwrap_or(i);
-            let node = unsafe_node(g, n);
-            node
+            let mut out = Vec::new();
+            if let Some(n) = g.node_of_var(VarId::from_index(i)) {
+                for (l, t) in g.out_edges(n) {
+                    out.push((format!("{l:?}"), t.index()));
+                }
+            }
+            // Edge order within a node is not semantically meaningful.
+            out.sort();
+            out
         })
         .collect();
     (residence, edges)
 }
 
-fn unsafe_node(g: &AliasGraph, i: usize) -> Vec<(Label, usize)> {
-    // Public API walk: out_edges by NodeId reconstructed through vars is
-    // not possible for var-free nodes, so compare only up to node_count and
-    // residence; edge sets are compared per reachable node.
-    let _ = i;
-    let mut out = Vec::new();
-    for vi in 0..12 {
-        if let Some(n) = g.node_of_var(VarId::from_index(vi)) {
-            if n.index() == i {
-                for (l, t) in g.out_edges(n) {
-                    out.push((*l, t.index()));
-                }
-                break;
-            }
-        }
-    }
-    // Edge order within a node is not semantically meaningful.
-    out.sort_by_key(|(l, t)| (format!("{l:?}"), *t));
-    out
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Definition 1: at most one outgoing edge per label, and every
-    /// variable resides in exactly one node.
-    #[test]
-    fn alias_graph_structural_invariants(ops in prop::collection::vec(op_strategy(), 1..60)) {
+/// Definition 1: at most one outgoing edge per label, and every variable
+/// resides in exactly one node.
+#[test]
+fn alias_graph_structural_invariants() {
+    let mut rng = Prng::seed_from_u64(0xa11a5);
+    for case in 0..CASES {
         let mut interner = Interner::new();
-        let fields = vec![interner.intern("f"), interner.intern("g"), interner.intern("h")];
+        let fields = test_fields(&mut interner);
         let mut g = AliasGraph::new();
-        for op in &ops {
-            apply(&mut g, &fields, op);
+        for op in random_ops(&mut rng, 1, 60) {
+            apply(&mut g, &fields, &op);
         }
-        // One residence per var.
         for i in 0..12 {
             let v = VarId::from_index(i);
             if let Some(n) = g.node_of_var(v) {
-                prop_assert!(g.vars(n).contains(&v));
-                // And no other node contains it.
-                let count = (0..g.node_count())
-                    .filter(|&j| {
-                        // reconstruct NodeId via residence check
-                        g.node_of_var(v).map(|n| n.index()) == Some(j)
-                    })
-                    .count();
-                prop_assert_eq!(count, 1);
-            }
-        }
-        // Unique labels per node (checked through every var's node).
-        for i in 0..12 {
-            if let Some(n) = g.node_of_var(VarId::from_index(i)) {
+                assert!(g.vars(n).contains(&v), "case {case}: var not in its node");
                 let edges = g.out_edges(n);
                 let mut labels: Vec<Label> = edges.iter().map(|(l, _)| *l).collect();
                 let before = labels.len();
                 labels.sort_by_key(|l| format!("{l:?}"));
                 labels.dedup();
-                prop_assert_eq!(before, labels.len(), "duplicate label on a node");
+                assert_eq!(
+                    before,
+                    labels.len(),
+                    "case {case}: duplicate label on a node"
+                );
             }
         }
     }
+}
 
-    /// Rollback is an exact inverse of any operation suffix.
-    #[test]
-    fn alias_graph_rollback_is_exact(
-        prefix in prop::collection::vec(op_strategy(), 0..30),
-        suffix in prop::collection::vec(op_strategy(), 1..30),
-    ) {
+/// Rollback is an exact inverse of any operation suffix.
+#[test]
+fn alias_graph_rollback_is_exact() {
+    let mut rng = Prng::seed_from_u64(0xb011);
+    for case in 0..CASES {
         let mut interner = Interner::new();
-        let fields = vec![interner.intern("f"), interner.intern("g"), interner.intern("h")];
+        let fields = test_fields(&mut interner);
         let mut g = AliasGraph::new();
-        for op in &prefix {
-            apply(&mut g, &fields, op);
+        for op in random_ops(&mut rng, 0, 30) {
+            apply(&mut g, &fields, &op);
         }
         let before = snapshot(&g);
         let nodes_before = g.node_count();
         let mark = g.mark();
-        for op in &suffix {
-            apply(&mut g, &fields, op);
+        for op in random_ops(&mut rng, 1, 30) {
+            apply(&mut g, &fields, &op);
         }
         g.rollback(mark);
-        prop_assert_eq!(g.node_count(), nodes_before);
-        prop_assert_eq!(snapshot(&g), before);
+        assert_eq!(g.node_count(), nodes_before, "case {case}");
+        assert_eq!(snapshot(&g), before, "case {case}");
     }
+}
 
-    /// MOVE really merges alias classes: after `a = b`, both have the same
-    /// node and share every subsequent field access path.
-    #[test]
-    fn move_merges_classes(a in 0u8..6, b in 0u8..6) {
-        prop_assume!(a != b);
+/// MOVE really merges alias classes: after `a = b`, both have the same node
+/// and share every subsequent field access path.
+#[test]
+fn move_merges_classes() {
+    let mut rng = Prng::seed_from_u64(0x30);
+    for case in 0..CASES {
+        let a = rng.gen_range(0, 6);
+        let b = rng.gen_range(0, 6);
+        if a == b {
+            continue;
+        }
         let mut interner = Interner::new();
         let f = interner.intern("f");
         let mut g = AliasGraph::new();
-        let (va, vb) = (VarId::from_index(a as usize), VarId::from_index(b as usize));
+        let (va, vb) = (VarId::from_index(a), VarId::from_index(b));
         g.handle_move(va, vb);
-        prop_assert_eq!(g.node_of_var(va), g.node_of_var(vb));
+        assert_eq!(g.node_of_var(va), g.node_of_var(vb), "case {case}");
         let (ta, tb) = (VarId::from_index(6), VarId::from_index(7));
         let na = g.handle_gep(ta, va, f);
         let nb = g.handle_gep(tb, vb, f);
-        prop_assert_eq!(na, nb, "field paths of aliases must coincide");
+        assert_eq!(na, nb, "case {case}: field paths of aliases must coincide");
     }
 }
 
@@ -181,20 +179,22 @@ proptest! {
 // Solver soundness
 // ====================================================================
 
-/// Builds constraints that are true under a random concrete assignment;
-/// the conjunction must never be UNSAT.
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn satisfiable_systems_never_refuted(
-        values in prop::collection::vec(-50i64..50, 2..8),
-        pairs in prop::collection::vec((0usize..8, 0usize..8), 1..20),
-    ) {
+/// Constraints that are true under a random concrete assignment must never
+/// be UNSAT.
+#[test]
+fn satisfiable_systems_never_refuted() {
+    let mut rng = Prng::seed_from_u64(0x5a7);
+    for case in 0..CASES {
+        let n_vals = rng.gen_range(2, 8);
+        let values: Vec<i64> = (0..n_vals)
+            .map(|_| rng.gen_range(0, 100) as i64 - 50)
+            .collect();
         let mut solver = Solver::new();
         let syms: Vec<SymId> = values.iter().map(|_| solver.fresh_symbol()).collect();
-        for (i, j) in pairs {
-            let (i, j) = (i % values.len(), j % values.len());
+        let n_pairs = rng.gen_range(1, 20);
+        for _ in 0..n_pairs {
+            let i = rng.gen_range(0, values.len());
+            let j = rng.gen_range(0, values.len());
             let (vi, vj) = (values[i], values[j]);
             // Assert the true relation between the two concrete values.
             let op = if vi == vj {
@@ -206,25 +206,97 @@ proptest! {
             };
             solver.assert_cmp(op, Term::sym(syms[i]), Term::sym(syms[j]));
         }
-        // Pin a couple of symbols to their concrete values too.
+        // Pin a symbol to its concrete value too.
         solver.assert_cmp(CmpOp::Eq, Term::sym(syms[0]), Term::int(values[0]));
-        let result = solver.check();
-        prop_assert_ne!(result, pata::smt::SatResult::Unsat);
+        assert_ne!(solver.check(), SatResult::Unsat, "case {case}: {values:?}");
     }
+}
 
-    #[test]
-    fn contradiction_always_refuted(v in -100i64..100, delta in 1i64..50) {
+/// Incremental scopes agree with batch solving on random systems: asserting
+/// prefix, push, suffix must decide exactly like a fresh solver given
+/// prefix + suffix — and popping must restore the prefix verdict.
+#[test]
+fn incremental_scopes_match_batch_solving() {
+    let mut rng = Prng::seed_from_u64(0x1c4);
+    let random_constraint = |rng: &mut Prng| {
+        let a = SymId(rng.gen_range(0, 5) as u32);
+        let b = SymId(rng.gen_range(0, 5) as u32);
+        let c = rng.gen_range(0, 11) as i64 - 5;
+        let op = match rng.gen_range(0, 5) {
+            0 => CmpOp::Le,
+            1 => CmpOp::Lt,
+            2 => CmpOp::Eq,
+            3 => CmpOp::Ne,
+            _ => CmpOp::Ge,
+        };
+        pata::smt::Constraint::new(op, Term::sym(a), Term::sym(b).add(Term::int(c)))
+    };
+    for case in 0..CASES {
+        let prefix: Vec<_> = (0..rng.gen_range(0, 8))
+            .map(|_| random_constraint(&mut rng))
+            .collect();
+        let suffix: Vec<_> = (0..rng.gen_range(1, 6))
+            .map(|_| random_constraint(&mut rng))
+            .collect();
+
+        let mut incremental = Solver::new();
+        incremental.reserve_symbols(5);
+        for c in &prefix {
+            incremental.assert_constraint(c.clone());
+        }
+        let prefix_verdict = incremental.check();
+        incremental.push();
+        for c in &suffix {
+            incremental.assert_constraint(c.clone());
+        }
+
+        let mut batch = Solver::new();
+        batch.reserve_symbols(5);
+        for c in prefix.iter().chain(&suffix) {
+            batch.assert_constraint(c.clone());
+        }
+        assert_eq!(
+            incremental.check(),
+            batch.check(),
+            "case {case}: {prefix:?} + {suffix:?}"
+        );
+
+        incremental.pop();
+        assert_eq!(
+            incremental.check(),
+            prefix_verdict,
+            "case {case}: pop must restore"
+        );
+    }
+}
+
+#[test]
+fn contradiction_always_refuted() {
+    let mut rng = Prng::seed_from_u64(0xc0);
+    for _ in 0..CASES {
+        let v = rng.gen_range(0, 200) as i64 - 100;
+        let delta = rng.gen_range(1, 50) as i64;
         let mut solver = Solver::new();
         let x = solver.fresh_symbol();
         solver.assert_cmp(CmpOp::Eq, Term::sym(x), Term::int(v));
         solver.assert_cmp(CmpOp::Eq, Term::sym(x), Term::int(v + delta));
-        prop_assert_eq!(solver.check(), pata::smt::SatResult::Unsat);
+        assert_eq!(
+            solver.check(),
+            SatResult::Unsat,
+            "x == {v} && x == {}",
+            v + delta
+        );
     }
+}
 
-    #[test]
-    fn offset_chains_consistent(offsets in prop::collection::vec(-20i64..20, 1..10)) {
+#[test]
+fn offset_chains_consistent() {
+    let mut rng = Prng::seed_from_u64(0x0ff);
+    for case in 0..CASES {
         // x0 = x1 + o1, x1 = x2 + o2, … — then x0 - xn == Σo must hold and
         // its negation must be refuted.
+        let n = rng.gen_range(1, 10);
+        let offsets: Vec<i64> = (0..n).map(|_| rng.gen_range(0, 40) as i64 - 20).collect();
         let mut solver = Solver::new();
         let syms: Vec<SymId> = (0..=offsets.len()).map(|_| solver.fresh_symbol()).collect();
         for (i, &o) in offsets.iter().enumerate() {
@@ -240,7 +312,7 @@ proptest! {
             Term::sym(syms[0]).sub(Term::sym(*syms.last().unwrap())),
             Term::int(total),
         );
-        prop_assert_eq!(solver.check(), pata::smt::SatResult::Unsat);
+        assert_eq!(solver.check(), SatResult::Unsat, "case {case}: {offsets:?}");
     }
 }
 
@@ -248,22 +320,37 @@ proptest! {
 // Front-end robustness
 // ====================================================================
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The lexer/parser never panic on arbitrary input — they either parse
-    /// or return a diagnostic.
-    #[test]
-    fn parser_total_on_arbitrary_input(input in "[ -~\\n]{0,200}") {
+/// The lexer/parser never panic on arbitrary input — they either parse or
+/// return a diagnostic.
+#[test]
+fn parser_total_on_arbitrary_input() {
+    let mut rng = Prng::seed_from_u64(0xf022);
+    for _ in 0..64 {
+        let len = rng.gen_range(0, 200);
+        let input: String = (0..len)
+            .map(|_| {
+                // Printable ASCII plus newline.
+                match rng.gen_range(0, 96) {
+                    95 => '\n',
+                    c => (b' ' + c as u8) as char,
+                }
+            })
+            .collect();
         let _ = pata::cc::Parser::parse_source("fuzz.c", &input);
     }
+}
 
-    /// Any corpus seed produces a compiling, verifying module.
-    #[test]
-    fn corpus_compiles_for_any_seed(seed in 0u64..1_000_000) {
-        let profile = pata::corpus::OsProfile::tencent().with_scale(0.12).with_seed(seed);
+/// Any corpus seed produces a compiling, verifying module.
+#[test]
+fn corpus_compiles_for_any_seed() {
+    let mut rng = Prng::seed_from_u64(0xc02b);
+    for _ in 0..24 {
+        let seed = rng.next_u64() % 1_000_000;
+        let profile = pata::corpus::OsProfile::tencent()
+            .with_scale(0.12)
+            .with_seed(seed);
         let corpus = pata::corpus::Corpus::generate(&profile);
         let module = corpus.compile().expect("generated corpus compiles");
-        prop_assert!(pata_ir::verify_module(&module).is_ok());
+        assert!(pata_ir::verify_module(&module).is_ok(), "seed {seed}");
     }
 }
