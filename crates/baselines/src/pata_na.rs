@@ -9,14 +9,19 @@
 //! (69% vs 28%) despite running faster.
 
 use crate::Analyzer;
-use pata_core::{AnalysisConfig, BugReport, Pata};
+use pata_core::{AnalysisConfig, BugReport, CheckerRegistry, Pata};
 use pata_ir::Module;
 
 /// The PATA-NA analyzer.
+///
+/// Checkers are instantiated through a [`CheckerRegistry`] — the same open
+/// extension point `Pata` uses — so plugin checkers registered via
+/// [`PataNaAnalyzer::with_registry`] run in the alias-unaware variant too.
 #[derive(Debug, Default)]
 pub struct PataNaAnalyzer {
     /// Optional configuration override (checkers, budgets).
     pub config: Option<AnalysisConfig>,
+    registry: CheckerRegistry,
 }
 
 impl PataNaAnalyzer {
@@ -25,7 +30,14 @@ impl PataNaAnalyzer {
     pub fn with_config(config: AnalysisConfig) -> Self {
         PataNaAnalyzer {
             config: Some(config),
+            registry: CheckerRegistry::with_builtins(),
         }
+    }
+
+    /// Creates PATA-NA with a custom checker registry (and optionally a
+    /// base configuration).
+    pub fn with_registry(config: Option<AnalysisConfig>, registry: CheckerRegistry) -> Self {
+        PataNaAnalyzer { config, registry }
     }
 }
 
@@ -37,7 +49,8 @@ impl Analyzer for PataNaAnalyzer {
     fn run(&self, module: &Module) -> Vec<BugReport> {
         let mut config = self.config.clone().unwrap_or_default();
         config.alias_mode = pata_core::AliasMode::None;
-        let outcome = Pata::new(config).analyze(module.clone());
+        let checkers = self.registry.instantiate_for(&config.checkers);
+        let outcome = Pata::new(config).analyze_with(module.clone(), &checkers);
         outcome.reports
     }
 }

@@ -17,27 +17,21 @@ fn main() {
     println!("Ablation study on the Linux model (scale {scale})");
     let profile = OsProfile::linux().with_scale(scale);
 
+    let build = |b: pata_core::AnalysisConfigBuilder| b.build().expect("valid ablation config");
     let rows: Vec<(&str, AnalysisConfig)> = vec![
         ("PATA", AnalysisConfig::default()),
         ("no-alias", AnalysisConfig::without_alias()),
         (
             "no-validation",
-            AnalysisConfig {
-                validate_paths: false,
-                ..AnalysisConfig::default()
-            },
+            build(AnalysisConfig::builder().validate_paths(false)),
         ),
-        ("loops=2", {
-            let mut c = AnalysisConfig::default();
-            c.budget.loop_iterations = 2;
-            c
-        }),
+        (
+            "loops=2",
+            build(AnalysisConfig::builder().loop_iterations(2)),
+        ),
         (
             "resolve-fptrs",
-            AnalysisConfig {
-                resolve_fptrs: true,
-                ..AnalysisConfig::default()
-            },
+            build(AnalysisConfig::builder().resolve_fptrs(true)),
         ),
     ];
 

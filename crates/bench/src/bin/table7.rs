@@ -13,11 +13,14 @@ fn main() {
     let scale = parse_scale();
     println!("Table 7: Bugs found by three additional checkers in Linux (scale {scale})");
     let profile = OsProfile::linux().with_scale(scale);
-    let config = AnalysisConfig::default().with_checkers(vec![
-        BugKind::DoubleLock,
-        BugKind::ArrayIndexUnderflow,
-        BugKind::DivisionByZero,
-    ]);
+    let config = AnalysisConfig::builder()
+        .checkers(vec![
+            BugKind::DoubleLock,
+            BugKind::ArrayIndexUnderflow,
+            BugKind::DivisionByZero,
+        ])
+        .build()
+        .expect("valid table-7 config");
     let run = run_profile(&profile, config);
 
     rule(70);

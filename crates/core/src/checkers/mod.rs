@@ -115,17 +115,17 @@ impl BugKind {
         }
     }
 
-    /// Instantiates the built-in checker for this kind.
+    /// Parses a [`BugKind::as_str`] slug back to the kind.
+    pub fn parse(slug: &str) -> Option<BugKind> {
+        BugKind::ALL.into_iter().find(|k| k.as_str() == slug)
+    }
+
+    /// Instantiates the built-in checker for this kind. Thin wrapper over
+    /// the open [`crate::registry::BuiltinChecker`] factory, so built-ins
+    /// and registered plugins share one construction path.
     pub fn instantiate(self) -> Box<dyn Checker> {
-        match self {
-            BugKind::NullPointerDeref => Box::new(npd::NpdChecker),
-            BugKind::UninitVarAccess => Box::new(uva::UvaChecker),
-            BugKind::MemoryLeak => Box::new(ml::MlChecker),
-            BugKind::DoubleLock => Box::new(lock::LockChecker),
-            BugKind::ArrayIndexUnderflow => Box::new(underflow::UnderflowChecker),
-            BugKind::DivisionByZero => Box::new(divzero::DivZeroChecker),
-            BugKind::UseAfterFree => Box::new(uaf::UafChecker),
-        }
+        use crate::registry::CheckerFactory as _;
+        crate::registry::BuiltinChecker(self).create()
     }
 }
 

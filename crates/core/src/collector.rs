@@ -48,6 +48,12 @@ impl CallGraph {
         CallGraph { callees, callers }
     }
 
+    /// Total number of direct-call edges (deduplicated per caller/callee
+    /// pair) — surfaced as the `collect.call_edges` telemetry counter.
+    pub fn edge_count(&self) -> usize {
+        self.callees.iter().map(Vec::len).sum()
+    }
+
     /// Functions with no direct caller — the analysis roots. A function
     /// whose only caller is *itself* (direct recursion) still counts: no
     /// other code reaches it, so it must be analyzed from its own entry.
@@ -64,12 +70,19 @@ impl CallGraph {
 /// Builds the call graph and marks interface functions on the module.
 /// Returns the analysis roots.
 pub fn mark_interfaces(module: &mut Module) -> Vec<FuncId> {
+    mark_interfaces_with_graph(module).0
+}
+
+/// Like [`mark_interfaces`], but also returns the call graph so callers
+/// (the driver's telemetry, external tooling) can inspect its size without
+/// rebuilding it.
+pub fn mark_interfaces_with_graph(module: &mut Module) -> (Vec<FuncId>, CallGraph) {
     let cg = CallGraph::build(module);
     let roots = cg.interface_functions();
     for &r in &roots {
         module.function_mut(r).set_interface(true);
     }
-    roots
+    (roots, cg)
 }
 
 #[cfg(test)]

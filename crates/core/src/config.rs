@@ -1,7 +1,13 @@
 //! Analysis configuration: checker selection, path budgets, and the
 //! alias-awareness switch used for the paper's sensitivity study (Table 6).
+//!
+//! Construct configurations through [`AnalysisConfig::builder`], which
+//! validates the result ([`AnalysisConfigBuilder::build`] rejects empty
+//! checker sets and zero budgets). The former `with_*` methods survive as
+//! deprecated shims.
 
 use crate::checkers::BugKind;
+use std::fmt;
 
 /// How alias relationships are computed during typestate analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -77,6 +83,11 @@ pub struct AnalysisConfig {
     /// not handle function-pointer calls and names this as future work
     /// (§7); off by default to match the paper.
     pub resolve_fptrs: bool,
+    /// Whether the [`crate::telemetry`] subsystem records counters, span
+    /// timers and histograms during the run. Off by default: disabled
+    /// telemetry costs one branch per record site (`--stats-json` /
+    /// `--profile` turn it on in the CLI).
+    pub telemetry: bool,
 }
 
 impl Default for AnalysisConfig {
@@ -93,6 +104,7 @@ impl Default for AnalysisConfig {
             validation_cache: true,
             threads: 0,
             resolve_fptrs: false,
+            telemetry: false,
         }
     }
 }
@@ -114,16 +126,180 @@ impl AnalysisConfig {
         }
     }
 
+    /// Starts a validating [`AnalysisConfigBuilder`] from the defaults.
+    pub fn builder() -> AnalysisConfigBuilder {
+        AnalysisConfigBuilder {
+            config: AnalysisConfig::default(),
+        }
+    }
+
     /// Builder-style checker selection.
+    #[deprecated(since = "0.2.0", note = "use `AnalysisConfig::builder().checkers(..)`")]
     pub fn with_checkers(mut self, checkers: Vec<BugKind>) -> Self {
         self.checkers = checkers;
         self
     }
 
     /// Builder-style budget override.
+    #[deprecated(since = "0.2.0", note = "use `AnalysisConfig::builder().budget(..)`")]
     pub fn with_budget(mut self, budget: PathBudget) -> Self {
         self.budget = budget;
         self
+    }
+}
+
+/// Why [`AnalysisConfigBuilder::build`] refused a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// No checkers selected — the analysis would trivially report nothing.
+    EmptyCheckerSet,
+    /// The same checker appears twice; its typestate namespace would be
+    /// updated twice per event.
+    DuplicateChecker(BugKind),
+    /// A [`PathBudget`] field is zero; names the offending field.
+    ZeroBudget(&'static str),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::EmptyCheckerSet => f.write_str("checker set is empty"),
+            ConfigError::DuplicateChecker(kind) => {
+                write!(f, "checker `{kind}` selected more than once")
+            }
+            ConfigError::ZeroBudget(field) => {
+                write!(f, "path budget field `{field}` must be non-zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`AnalysisConfig`].
+///
+/// ```
+/// use pata_core::{AnalysisConfig, BugKind};
+///
+/// let config = AnalysisConfig::builder()
+///     .checkers(BugKind::ALL.to_vec())
+///     .threads(2)
+///     .telemetry(true)
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.checkers.len(), 7);
+///
+/// let err = AnalysisConfig::builder().checkers(vec![]).build().unwrap_err();
+/// assert_eq!(err.to_string(), "checker set is empty");
+/// ```
+#[derive(Debug, Clone)]
+pub struct AnalysisConfigBuilder {
+    config: AnalysisConfig,
+}
+
+impl AnalysisConfigBuilder {
+    /// Selects the checkers to run.
+    pub fn checkers(mut self, checkers: Vec<BugKind>) -> Self {
+        self.config.checkers = checkers;
+        self
+    }
+
+    /// Sets the alias-awareness mode (Table 6 sensitivity switch).
+    pub fn alias_mode(mut self, mode: AliasMode) -> Self {
+        self.config.alias_mode = mode;
+        self
+    }
+
+    /// Replaces the whole path budget.
+    pub fn budget(mut self, budget: PathBudget) -> Self {
+        self.config.budget = budget;
+        self
+    }
+
+    /// Caps completed paths per root.
+    pub fn max_paths(mut self, n: usize) -> Self {
+        self.config.budget.max_paths = n;
+        self
+    }
+
+    /// Caps instructions processed per root.
+    pub fn max_insts(mut self, n: usize) -> Self {
+        self.config.budget.max_insts = n;
+        self
+    }
+
+    /// Caps the inlining (call) depth.
+    pub fn max_call_depth(mut self, n: usize) -> Self {
+        self.config.budget.max_call_depth = n;
+        self
+    }
+
+    /// Caps instructions on one path.
+    pub fn max_path_len(mut self, n: usize) -> Self {
+        self.config.budget.max_path_len = n;
+        self
+    }
+
+    /// Sets how many times a loop body may run along one path.
+    pub fn loop_iterations(mut self, n: usize) -> Self {
+        self.config.budget.loop_iterations = n;
+        self
+    }
+
+    /// Enables or disables stage-2 SMT path validation.
+    pub fn validate_paths(mut self, on: bool) -> Self {
+        self.config.validate_paths = on;
+        self
+    }
+
+    /// Enables or disables the stage-2 validation cache.
+    pub fn validation_cache(mut self, on: bool) -> Self {
+        self.config.validation_cache = on;
+        self
+    }
+
+    /// Sets the worker-thread count (0 = all cores).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.config.threads = n;
+        self
+    }
+
+    /// Enables resolution of alias-pinned function-pointer calls.
+    pub fn resolve_fptrs(mut self, on: bool) -> Self {
+        self.config.resolve_fptrs = on;
+        self
+    }
+
+    /// Enables telemetry recording for the run.
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.config.telemetry = on;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<AnalysisConfig, ConfigError> {
+        let c = &self.config;
+        if c.checkers.is_empty() {
+            return Err(ConfigError::EmptyCheckerSet);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for kind in &c.checkers {
+            if !seen.insert(*kind) {
+                return Err(ConfigError::DuplicateChecker(*kind));
+            }
+        }
+        for (field, value) in [
+            ("max_paths", c.budget.max_paths),
+            ("max_insts", c.budget.max_insts),
+            ("max_call_depth", c.budget.max_call_depth),
+            ("max_path_len", c.budget.max_path_len),
+            ("loop_iterations", c.budget.loop_iterations),
+        ] {
+            if value == 0 {
+                return Err(ConfigError::ZeroBudget(field));
+            }
+        }
+        Ok(self.config)
     }
 }
 
@@ -147,5 +323,74 @@ mod tests {
     #[test]
     fn without_alias_is_na_mode() {
         assert_eq!(AnalysisConfig::without_alias().alias_mode, AliasMode::None);
+    }
+
+    #[test]
+    fn builder_defaults_match_default_config() {
+        let built = AnalysisConfig::builder().build().unwrap();
+        let default = AnalysisConfig::default();
+        assert_eq!(built.checkers, default.checkers);
+        assert_eq!(built.budget, default.budget);
+        assert_eq!(built.threads, default.threads);
+        assert!(!built.telemetry);
+    }
+
+    #[test]
+    fn builder_rejects_empty_checker_set() {
+        let err = AnalysisConfig::builder()
+            .checkers(vec![])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::EmptyCheckerSet);
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_checker() {
+        let err = AnalysisConfig::builder()
+            .checkers(vec![BugKind::MemoryLeak, BugKind::MemoryLeak])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::DuplicateChecker(BugKind::MemoryLeak));
+    }
+
+    #[test]
+    fn builder_rejects_zero_budgets() {
+        let err = AnalysisConfig::builder().max_paths(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroBudget("max_paths"));
+        let err = AnalysisConfig::builder()
+            .loop_iterations(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroBudget("loop_iterations"));
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let c = AnalysisConfig::builder()
+            .alias_mode(AliasMode::None)
+            .max_insts(10)
+            .threads(4)
+            .validate_paths(false)
+            .validation_cache(false)
+            .resolve_fptrs(true)
+            .telemetry(true)
+            .build()
+            .unwrap();
+        assert_eq!(c.alias_mode, AliasMode::None);
+        assert_eq!(c.budget.max_insts, 10);
+        assert_eq!(c.threads, 4);
+        assert!(!c.validate_paths);
+        assert!(!c.validation_cache);
+        assert!(c.resolve_fptrs);
+        assert!(c.telemetry);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_compile() {
+        let c = AnalysisConfig::default()
+            .with_checkers(vec![BugKind::UseAfterFree])
+            .with_budget(PathBudget::default());
+        assert_eq!(c.checkers, vec![BugKind::UseAfterFree]);
     }
 }

@@ -7,8 +7,10 @@ use crate::collector;
 use crate::config::AnalysisConfig;
 use crate::filter;
 use crate::path::Explorer;
+use crate::registry::CheckerRegistry;
 use crate::report::{BugReport, PossibleBug};
 use crate::stats::AnalysisStats;
+use crate::telemetry::{Span, Telemetry, TelemetrySink, TelemetrySnapshot};
 use crate::typestate::Checker;
 use crate::validate::ValidationCache;
 use pata_ir::{FuncId, Module};
@@ -28,6 +30,10 @@ pub struct AnalysisOutcome {
     pub stats: AnalysisStats,
     /// The analyzed module, with interface functions marked.
     pub module: Module,
+    /// Telemetry collected during this run; empty unless
+    /// [`AnalysisConfig::telemetry`] is set. See
+    /// [`TelemetrySnapshot::to_json`] for the stable wire format.
+    pub telemetry: TelemetrySnapshot,
 }
 
 /// The PATA analyzer.
@@ -45,14 +51,30 @@ pub struct Pata {
     /// Stage-2 conjunction verdicts, shared across every `analyze` call on
     /// this analyzer (and, being `Sync`, across threads).
     cache: Arc<ValidationCache>,
+    /// Checker factories; [`Pata::analyze`] instantiates checkers through
+    /// it so out-of-tree checkers registered by embedders run alongside the
+    /// built-ins.
+    registry: CheckerRegistry,
+    /// Metrics registry. Cheap when `config.telemetry` is off: every
+    /// recording site branches on one relaxed atomic load.
+    telemetry: Arc<Telemetry>,
 }
 
 impl Pata {
-    /// Creates an analyzer with `config`.
+    /// Creates an analyzer with `config` and the built-in checker registry.
     pub fn new(config: AnalysisConfig) -> Self {
+        Self::with_registry(config, CheckerRegistry::with_builtins())
+    }
+
+    /// Creates an analyzer with a custom [`CheckerRegistry`] — the hook for
+    /// out-of-tree checkers (see `examples/double_unlock_plugin.rs`).
+    pub fn with_registry(config: AnalysisConfig, registry: CheckerRegistry) -> Self {
+        let telemetry = Arc::new(Telemetry::new(config.telemetry));
         Pata {
             config,
             cache: Arc::new(ValidationCache::new()),
+            registry,
+            telemetry,
         }
     }
 
@@ -66,14 +88,21 @@ impl Pata {
         &self.cache
     }
 
+    /// The analyzer's checker registry.
+    pub fn registry(&self) -> &CheckerRegistry {
+        &self.registry
+    }
+
+    /// The analyzer's telemetry registry. Metrics accumulate across
+    /// `analyze` calls; each [`AnalysisOutcome`] carries a snapshot taken
+    /// at the end of its run.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
     /// Runs the full pipeline on `module`.
     pub fn analyze(&self, module: Module) -> AnalysisOutcome {
-        let checkers: Vec<Box<dyn Checker>> = self
-            .config
-            .checkers
-            .iter()
-            .map(|k| k.instantiate())
-            .collect();
+        let checkers = self.registry.instantiate_for(&self.config.checkers);
         self.analyze_with(module, &checkers)
     }
 
@@ -85,32 +114,52 @@ impl Pata {
         checkers: &[Box<dyn Checker>],
     ) -> AnalysisOutcome {
         let start = Instant::now();
+        let tel_on = self.telemetry.is_enabled();
+
         // P1: information collection.
-        let roots = collector::mark_interfaces(&mut module);
+        let span = Span::start(tel_on, "stage.collect");
+        let (roots, call_graph) = collector::mark_interfaces_with_graph(&mut module);
+        if tel_on {
+            self.telemetry.record_direct(|sink| {
+                span.finish(sink);
+                sink.add("collect.roots", roots.len() as u64);
+                sink.add("collect.call_edges", call_graph.edge_count() as u64);
+            });
+        }
 
         // P2: per-root path-sensitive analysis.
+        let span = Span::start(tel_on, "stage.explore");
         let mut stats = AnalysisStats {
             files_analyzed: module.files().len() as u64,
             loc_analyzed: module.total_loc(),
             ..AnalysisStats::default()
         };
         let candidates = self.run_roots(&module, checkers, &roots, &mut stats);
+        if tel_on {
+            self.telemetry.record_direct(|sink| span.finish(sink));
+        }
 
         // P3: bug filtering (dedup + path validation).
+        let span = Span::start(tel_on, "stage.filter");
         let cache = self.config.validation_cache.then(|| &*self.cache);
         let result = filter::filter(
             &module,
             candidates,
             self.config.validate_paths,
             cache,
+            Some(&self.telemetry),
             &mut stats,
         );
+        if tel_on {
+            self.telemetry.record_direct(|sink| span.finish(sink));
+        }
         stats.time = start.elapsed();
         AnalysisOutcome {
             reports: result.reports,
             real_bugs: result.real_bugs,
             stats,
             module,
+            telemetry: self.telemetry.snapshot(),
         }
     }
 
@@ -153,14 +202,31 @@ impl Pata {
             self.config.threads
         };
         let threads = threads.min(roots.len().max(1));
+        let tel_on = self.telemetry.is_enabled();
+        let base = stats.clone();
 
         if threads <= 1 || roots.len() <= 1 {
             let mut all = Vec::new();
+            let mut sink = TelemetrySink::new();
+            let mut alias_ops = [0u64; 7];
             for &root in roots {
+                let span = Span::start(tel_on, "explore.root");
                 let explorer = Explorer::new(module, &self.config, checkers, root);
                 let result = explorer.explore();
+                if tel_on {
+                    span.finish_labeled(&mut sink, Some(module.function(root).name().into()));
+                    for (acc, n) in alias_ops.iter_mut().zip(result.alias_ops) {
+                        *acc += n;
+                    }
+                }
                 *stats += &result.stats;
                 all.extend(result.candidates);
+            }
+            if tel_on {
+                flush_alias_ops(&mut sink, &alias_ops);
+                sink.gauge_max("driver.threads", 1);
+                self.telemetry.merge(sink);
+                self.record_exploration_counters(stats, &base);
             }
             // Candidates are ordered by root for determinism.
             return all;
@@ -186,25 +252,48 @@ impl Pata {
                 let queues = &queues;
                 let collected = &collected;
                 let steals = &steals;
-                scope.spawn(move || loop {
-                    let mut task = queues[w].lock().unwrap().pop_front();
-                    if task.is_none() {
-                        for off in 1..threads {
-                            let victim = (w + off) % threads;
-                            task = queues[victim].lock().unwrap().pop_back();
-                            if task.is_some() {
-                                steals.fetch_add(1, Ordering::Relaxed);
-                                break;
+                let telemetry = &self.telemetry;
+                scope.spawn(move || {
+                    // Per-worker telemetry shard: lock-free while the worker
+                    // runs, merged into the shared registry once at exit.
+                    let mut sink = TelemetrySink::new();
+                    let mut alias_ops = [0u64; 7];
+                    loop {
+                        let mut task = queues[w].lock().unwrap().pop_front();
+                        if task.is_none() {
+                            for off in 1..threads {
+                                let victim = (w + off) % threads;
+                                task = queues[victim].lock().unwrap().pop_back();
+                                if task.is_some() {
+                                    steals.fetch_add(1, Ordering::Relaxed);
+                                    break;
+                                }
                             }
                         }
+                        let Some(i) = task else { break };
+                        let span = Span::start(tel_on, "explore.root");
+                        let explorer = Explorer::new(module, &self.config, checkers, roots[i]);
+                        let result = explorer.explore();
+                        if tel_on {
+                            span.finish_labeled(
+                                &mut sink,
+                                Some(module.function(roots[i]).name().into()),
+                            );
+                            for (acc, n) in alias_ops.iter_mut().zip(result.alias_ops) {
+                                *acc += n;
+                            }
+                        }
+                        collected
+                            .lock()
+                            .unwrap()
+                            .push((i, result.candidates, result.stats));
                     }
-                    let Some(i) = task else { break };
-                    let explorer = Explorer::new(module, &self.config, checkers, roots[i]);
-                    let result = explorer.explore();
-                    collected
-                        .lock()
-                        .unwrap()
-                        .push((i, result.candidates, result.stats));
+                    if tel_on {
+                        flush_alias_ops(&mut sink, &alias_ops);
+                        if !sink.is_empty() {
+                            telemetry.merge(sink);
+                        }
+                    }
                 });
             }
         });
@@ -220,7 +309,45 @@ impl Pata {
             all.extend(candidates);
         }
         stats.work_steals += steals.into_inner();
+        if tel_on {
+            self.record_exploration_counters(stats, &base);
+            self.telemetry.record_direct(|sink| {
+                sink.gauge_max("driver.threads", threads as i64);
+                sink.add("driver.work_steals", stats.work_steals - base.work_steals);
+            });
+        }
         all
+    }
+
+    /// Records the exploration-volume counters derived from the merged
+    /// per-root statistics — once per run, as the delta against the stats
+    /// at `run_roots` entry, so they stay exact for any thread count.
+    fn record_exploration_counters(&self, stats: &AnalysisStats, base: &AnalysisStats) {
+        self.telemetry.record_direct(|sink| {
+            sink.add("path.paths", stats.paths_explored - base.paths_explored);
+            sink.add("path.insts", stats.insts_processed - base.insts_processed);
+            sink.add(
+                "path.budget_exhausted",
+                stats.budget_exhausted_roots - base.budget_exhausted_roots,
+            );
+            sink.add(
+                "typestate.transitions",
+                stats.typestates_aware - base.typestates_aware,
+            );
+            sink.add(
+                "constraints.emitted",
+                stats.constraints_aware - base.constraints_aware,
+            );
+        });
+    }
+}
+
+/// Converts a per-worker alias-op array into labeled `alias.op` counters.
+fn flush_alias_ops(sink: &mut TelemetrySink, alias_ops: &[u64; 7]) {
+    for (i, &name) in crate::path::ALIAS_OP_NAMES.iter().enumerate() {
+        if alias_ops[i] > 0 {
+            sink.add_labeled("alias.op", Some(name.into()), alias_ops[i]);
+        }
     }
 }
 

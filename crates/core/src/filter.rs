@@ -3,6 +3,7 @@
 
 use crate::report::{BugReport, PossibleBug};
 use crate::stats::AnalysisStats;
+use crate::telemetry::Telemetry;
 use crate::validate::{Feasibility, PathValidator, ValidationCache};
 use pata_ir::Module;
 use std::collections::HashMap;
@@ -29,8 +30,15 @@ pub fn filter(
     candidates: Vec<PossibleBug>,
     validate_paths: bool,
     cache: Option<&ValidationCache>,
+    telemetry: Option<&Telemetry>,
     stats: &mut AnalysisStats,
 ) -> FilterResult {
+    let tel_enabled = telemetry.is_some_and(Telemetry::is_enabled);
+    let (base_reported, base_repeated, base_false) = (
+        stats.reported,
+        stats.repeated_bugs_dropped,
+        stats.false_bugs_dropped,
+    );
     // Group path snapshots by problematic-instruction pair (§4 P3): two
     // candidates with identical instructions are the same bug reached along
     // different paths (possibly from different analysis roots). The bug is
@@ -48,7 +56,7 @@ pub fn filter(
         entry.push(bug);
     }
 
-    let mut validator = PathValidator::new(cache);
+    let mut validator = PathValidator::with_telemetry(cache, tel_enabled);
     let mut reports = Vec::new();
     let mut real = Vec::new();
     for key in order {
@@ -75,6 +83,23 @@ pub fn filter(
     stats.validation_cache_hits += vstats.cache_hits;
     stats.validation_cache_misses += vstats.cache_misses;
     stats.validation_scope_reuse += vstats.scope_reuse;
+    if let Some(tel) = telemetry {
+        tel.merge(validator.take_telemetry());
+        tel.record_direct(|sink| {
+            sink.add(
+                "filter.groups",
+                (stats.reported - base_reported) + (stats.false_bugs_dropped - base_false),
+            );
+            sink.add(
+                "filter.repeated_dropped",
+                stats.repeated_bugs_dropped - base_repeated,
+            );
+            sink.add(
+                "filter.false_dropped",
+                stats.false_bugs_dropped - base_false,
+            );
+        });
+    }
     FilterResult {
         reports,
         real_bugs: real,
@@ -130,6 +155,7 @@ mod tests {
             vec![bug(1, vec![]), bug(1, vec![]), bug(2, vec![])],
             true,
             None,
+            None,
             &mut stats,
         );
         assert_eq!(out.reports.len(), 2);
@@ -145,6 +171,7 @@ mod tests {
             vec![bug(1, contradiction()), bug(2, vec![])],
             true,
             None,
+            None,
             &mut stats,
         );
         assert_eq!(out.reports.len(), 1);
@@ -156,7 +183,14 @@ mod tests {
     fn validation_can_be_disabled() {
         let m = module_with_one_fn();
         let mut stats = AnalysisStats::default();
-        let out = filter(&m, vec![bug(1, contradiction())], false, None, &mut stats);
+        let out = filter(
+            &m,
+            vec![bug(1, contradiction())],
+            false,
+            None,
+            None,
+            &mut stats,
+        );
         assert_eq!(out.reports.len(), 1);
         assert_eq!(stats.false_bugs_dropped, 0);
     }
@@ -173,6 +207,7 @@ mod tests {
             vec![bug(1, contradiction()), bug(2, contradiction())],
             true,
             Some(&cache),
+            None,
             &mut stats,
         );
         assert_eq!(out.reports.len(), 0);
@@ -192,10 +227,10 @@ mod tests {
             ]
         };
         let mut s_off = AnalysisStats::default();
-        let off = filter(&m, mk(), true, None, &mut s_off);
+        let off = filter(&m, mk(), true, None, None, &mut s_off);
         let cache = ValidationCache::new();
         let mut s_on = AnalysisStats::default();
-        let on = filter(&m, mk(), true, Some(&cache), &mut s_on);
+        let on = filter(&m, mk(), true, Some(&cache), None, &mut s_on);
         assert_eq!(off.reports.len(), on.reports.len());
         assert_eq!(s_off.false_bugs_dropped, s_on.false_bugs_dropped);
         assert_eq!(

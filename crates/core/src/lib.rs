@@ -56,15 +56,20 @@ pub mod collector;
 pub mod config;
 pub mod driver;
 pub mod filter;
+pub mod json;
 pub mod path;
+pub mod registry;
 pub mod report;
 pub mod stats;
+pub mod telemetry;
 pub mod typestate;
 pub mod validate;
 
 pub use checkers::BugKind;
-pub use config::{AliasMode, AnalysisConfig, PathBudget};
+pub use config::{AliasMode, AnalysisConfig, AnalysisConfigBuilder, ConfigError, PathBudget};
 pub use driver::{AnalysisOutcome, Pata};
-pub use report::{BugReport, PossibleBug};
+pub use registry::{BuiltinChecker, CheckerFactory, CheckerRegistry, RegistryError};
+pub use report::{BugReport, PossibleBug, Report, ReportError, REPORT_SCHEMA_VERSION};
 pub use stats::AnalysisStats;
+pub use telemetry::{Telemetry, TelemetrySink, TelemetrySnapshot};
 pub use validate::{PathValidator, ValidationCache};

@@ -130,7 +130,16 @@ pub struct Explorer<'a> {
     candidates: Vec<PossibleBug>,
     /// Counters for this root (merged by the driver).
     pub stats: AnalysisStats,
+    /// Telemetry gate, latched once from `config.telemetry` at
+    /// construction: the per-instruction cost when disabled is one branch.
+    tel_enabled: bool,
+    /// Alias-graph updates by rule, indexed by [`ALIAS_OP_NAMES`].
+    alias_ops: [u64; ALIAS_OP_NAMES.len()],
 }
+
+/// Labels for the `alias.op` telemetry counter, in `alias_ops` index order.
+pub(crate) const ALIAS_OP_NAMES: [&str; 7] =
+    ["move", "const", "load", "store", "gep", "addr", "index"];
 
 /// The output of exploring one root.
 pub struct ExploreResult {
@@ -138,6 +147,12 @@ pub struct ExploreResult {
     pub candidates: Vec<PossibleBug>,
     /// This root's statistics.
     pub stats: AnalysisStats,
+    /// Alias-graph updates by rule, in move/const/load/store/gep/addr/index
+    /// order; all zero unless [`crate::AnalysisConfig::telemetry`] is set.
+    /// Plain counters rather than a sink: the driver sums arrays per worker
+    /// and materializes labeled metrics once per run, keeping the per-root
+    /// cost away from map operations.
+    pub alias_ops: [u64; 7],
 }
 
 impl<'a> Explorer<'a> {
@@ -170,6 +185,8 @@ impl<'a> Explorer<'a> {
             seen: HashMap::new(),
             candidates: Vec::new(),
             stats: AnalysisStats::default(),
+            tel_enabled: config.telemetry,
+            alias_ops: [0; ALIAS_OP_NAMES.len()],
         }
     }
 
@@ -187,6 +204,18 @@ impl<'a> Explorer<'a> {
         ExploreResult {
             candidates: self.candidates,
             stats: self.stats,
+            alias_ops: self.alias_ops,
+        }
+    }
+
+    /// Counts one alias-graph update of rule `op` (index into
+    /// [`ALIAS_OP_NAMES`]). Inlined into the already-taken instruction
+    /// arms so the disabled cost is one predicted branch, with no second
+    /// dispatch on the instruction kind.
+    #[inline]
+    fn tally_alias_op(&mut self, op: usize) {
+        if self.tel_enabled {
+            self.alias_ops[op] += 1;
         }
     }
 
@@ -810,6 +839,7 @@ impl<'a> Explorer<'a> {
                 info.use_keys.push((*src, self.key_of(*src)));
                 self.na_clear_def(*dst);
                 if alias {
+                    self.tally_alias_op(0);
                     let n = self.graph.handle_move(*dst, *src);
                     self.count_unaware_alias_op(*src);
                     self.count_unaware_sync(nkey(n));
@@ -828,6 +858,7 @@ impl<'a> Explorer<'a> {
             InstKind::Const { dst, value } => {
                 self.na_clear_def(*dst);
                 let key = if alias {
+                    self.tally_alias_op(1);
                     nkey(self.graph.handle_const(*dst))
                 } else {
                     TrackKey::Var(*dst)
@@ -845,6 +876,7 @@ impl<'a> Explorer<'a> {
                 info.deref_key = Some(self.key_of(*addr));
                 self.na_clear_def(*dst);
                 if alias {
+                    self.tally_alias_op(2);
                     let n = self.graph.handle_load(*dst, *addr);
                     self.count_unaware_alias_op(*dst);
                     self.count_unaware_sync(nkey(n));
@@ -860,6 +892,7 @@ impl<'a> Explorer<'a> {
                     info.use_keys.push((*v, self.key_of(*v)));
                 }
                 if alias {
+                    self.tally_alias_op(3);
                     match val {
                         Operand::Var(v) => {
                             // A stored function pointer keeps its binding:
@@ -890,6 +923,7 @@ impl<'a> Explorer<'a> {
                 info.deref_key = Some(self.key_of(*base));
                 self.na_clear_def(*dst);
                 if alias {
+                    self.tally_alias_op(4);
                     let n = self.graph.handle_gep(*dst, *base, *field);
                     self.count_unaware_alias_op(*dst);
                     self.count_unaware_sync(nkey(n));
@@ -901,6 +935,7 @@ impl<'a> Explorer<'a> {
             InstKind::AddrOf { dst, src } => {
                 self.na_clear_def(*dst);
                 if alias {
+                    self.tally_alias_op(5);
                     let n = self.graph.handle_addr_of(*dst, *src);
                     self.count_unaware_alias_op(*dst);
                     info.dst_key = Some(nkey(n));
@@ -924,6 +959,7 @@ impl<'a> Explorer<'a> {
                         Operand::Const(c) => Label::ElemConst(c.as_int()),
                         Operand::Var(v) => Label::ElemVar(v.index() as u32),
                     };
+                    self.tally_alias_op(6);
                     let n = self.graph.handle_index(*dst, *base, label);
                     self.count_unaware_alias_op(*dst);
                     info.dst_key = Some(nkey(n));

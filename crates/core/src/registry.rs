@@ -1,0 +1,265 @@
+//! An open checker registry: checkers as plugins over the analysis core.
+//!
+//! STANSE's lesson (and the paper's §5.5 generality claim) is that a
+//! bug-finding framework earns its keep by letting new checkers plug into
+//! a common engine. The closed [`BugKind`] enum blocks that: everything
+//! routes through `BugKind::instantiate()`. This module opens the seam —
+//! a [`CheckerFactory`] describes how to build one checker, and a
+//! [`CheckerRegistry`] owns a set of factories keyed by stable string id.
+//! The seven built-ins pre-register via [`BuiltinChecker`], so
+//! `BugKind::instantiate()` is now a thin wrapper over the same path an
+//! out-of-tree plugin uses (see `examples/double_unlock_plugin.rs`).
+//!
+//! Selection policy in [`CheckerRegistry::instantiate_for`]: the
+//! `AnalysisConfig::checkers` list selects among *built-in* kinds, while
+//! every registered non-built-in factory always runs — a plugin is
+//! registered precisely because the caller wants it.
+
+use crate::checkers::BugKind;
+use crate::typestate::Checker;
+use std::fmt;
+
+/// Builds instances of one checker. Implement this to plug a custom
+/// checker into [`CheckerRegistry`]; the built-ins implement it through
+/// [`BuiltinChecker`].
+pub trait CheckerFactory: Send + Sync {
+    /// Stable unique id (the built-ins use their [`BugKind::as_str`] slug,
+    /// e.g. `"null-pointer-dereference"`).
+    fn id(&self) -> &str;
+
+    /// One-line human description, for listings.
+    fn description(&self) -> &str;
+
+    /// Creates a fresh checker instance.
+    fn create(&self) -> Box<dyn Checker>;
+}
+
+/// Factory for one of the seven built-in checkers. `BugKind::instantiate`
+/// delegates here, so built-ins and plugins share one construction path.
+#[derive(Debug, Clone, Copy)]
+pub struct BuiltinChecker(pub BugKind);
+
+impl CheckerFactory for BuiltinChecker {
+    fn id(&self) -> &str {
+        self.0.as_str()
+    }
+
+    fn description(&self) -> &str {
+        self.0.describe()
+    }
+
+    fn create(&self) -> Box<dyn Checker> {
+        use crate::checkers::{divzero, lock, ml, npd, uaf, underflow, uva};
+        match self.0 {
+            BugKind::NullPointerDeref => Box::new(npd::NpdChecker),
+            BugKind::UninitVarAccess => Box::new(uva::UvaChecker),
+            BugKind::MemoryLeak => Box::new(ml::MlChecker),
+            BugKind::DoubleLock => Box::new(lock::LockChecker),
+            BugKind::ArrayIndexUnderflow => Box::new(underflow::UnderflowChecker),
+            BugKind::DivisionByZero => Box::new(divzero::DivZeroChecker),
+            BugKind::UseAfterFree => Box::new(uaf::UafChecker),
+        }
+    }
+}
+
+/// Why a [`CheckerRegistry::register`] call was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// A factory with the same id is already registered.
+    DuplicateId(String),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::DuplicateId(id) => {
+                write!(f, "a checker with id `{id}` is already registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// A set of checker factories, keyed by stable string id.
+pub struct CheckerRegistry {
+    entries: Vec<Box<dyn CheckerFactory>>,
+}
+
+impl fmt::Debug for CheckerRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CheckerRegistry")
+            .field("ids", &self.ids())
+            .finish()
+    }
+}
+
+impl Default for CheckerRegistry {
+    fn default() -> Self {
+        CheckerRegistry::with_builtins()
+    }
+}
+
+impl CheckerRegistry {
+    /// An empty registry (no built-ins).
+    pub fn new() -> Self {
+        CheckerRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// A registry pre-loaded with the seven built-in checkers.
+    pub fn with_builtins() -> Self {
+        let mut r = CheckerRegistry::new();
+        for kind in BugKind::ALL {
+            r.register(Box::new(BuiltinChecker(kind)))
+                .expect("built-in ids are unique");
+        }
+        r
+    }
+
+    /// Registers a factory. Fails if the id is already taken.
+    pub fn register(&mut self, factory: Box<dyn CheckerFactory>) -> Result<(), RegistryError> {
+        let id = factory.id();
+        if self.entries.iter().any(|e| e.id() == id) {
+            return Err(RegistryError::DuplicateId(id.to_owned()));
+        }
+        self.entries.push(factory);
+        Ok(())
+    }
+
+    /// Looks up a factory by id.
+    pub fn get(&self, id: &str) -> Option<&dyn CheckerFactory> {
+        self.entries
+            .iter()
+            .find(|e| e.id() == id)
+            .map(|e| e.as_ref())
+    }
+
+    /// All registered ids, in registration order.
+    pub fn ids(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.id()).collect()
+    }
+
+    /// Instantiates the checkers an analysis run should use: the
+    /// `selected` built-in kinds (from the registry when registered, from
+    /// [`BuiltinChecker`] directly otherwise, so a built-ins-free registry
+    /// still honours the config), plus every registered factory whose id
+    /// is not a built-in slug — plugins always run.
+    pub fn instantiate_for(&self, selected: &[BugKind]) -> Vec<Box<dyn Checker>> {
+        let mut checkers: Vec<Box<dyn Checker>> = selected
+            .iter()
+            .map(|kind| match self.get(kind.as_str()) {
+                Some(factory) => factory.create(),
+                None => BuiltinChecker(*kind).create(),
+            })
+            .collect();
+        for entry in &self.entries {
+            if BugKind::parse(entry.id()).is_none() {
+                checkers.push(entry.create());
+            }
+        }
+        checkers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::typestate::FsmSpec;
+
+    struct DummyFactory {
+        id: &'static str,
+    }
+
+    struct DummyChecker;
+
+    impl crate::typestate::Checker for DummyChecker {
+        fn kind(&self) -> BugKind {
+            BugKind::DoubleLock
+        }
+        fn fsm(&self) -> FsmSpec {
+            FsmSpec {
+                states: vec!["S0", "SBUG"],
+                events: vec!["e"],
+                bug_state: "SBUG",
+            }
+        }
+        fn on_inst(
+            &self,
+            _cx: &mut crate::typestate::TrackCtx<'_>,
+            _inst: &pata_ir::InstKind,
+            _info: &crate::typestate::UpdateInfo,
+        ) {
+        }
+    }
+
+    impl CheckerFactory for DummyFactory {
+        fn id(&self) -> &str {
+            self.id
+        }
+        fn description(&self) -> &str {
+            "a test checker"
+        }
+        fn create(&self) -> Box<dyn Checker> {
+            Box::new(DummyChecker)
+        }
+    }
+
+    #[test]
+    fn builtins_registry_has_seven_unique_ids() {
+        let r = CheckerRegistry::with_builtins();
+        let ids = r.ids();
+        assert_eq!(ids.len(), 7);
+        assert!(ids.contains(&"null-pointer-dereference"));
+    }
+
+    #[test]
+    fn duplicate_id_is_rejected() {
+        let mut r = CheckerRegistry::with_builtins();
+        let err = r
+            .register(Box::new(BuiltinChecker(BugKind::MemoryLeak)))
+            .unwrap_err();
+        assert_eq!(err, RegistryError::DuplicateId("memory-leak".to_owned()));
+        assert_eq!(r.ids().len(), 7);
+    }
+
+    #[test]
+    fn duplicate_plugin_id_is_rejected() {
+        let mut r = CheckerRegistry::new();
+        r.register(Box::new(DummyFactory { id: "my-checker" }))
+            .unwrap();
+        let err = r
+            .register(Box::new(DummyFactory { id: "my-checker" }))
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::DuplicateId(_)));
+    }
+
+    #[test]
+    fn selection_honours_config_and_always_runs_plugins() {
+        let mut r = CheckerRegistry::with_builtins();
+        r.register(Box::new(DummyFactory { id: "my-checker" }))
+            .unwrap();
+        let checkers = r.instantiate_for(&[BugKind::NullPointerDeref]);
+        // 1 selected built-in + 1 plugin.
+        assert_eq!(checkers.len(), 2);
+    }
+
+    #[test]
+    fn empty_registry_still_instantiates_builtins() {
+        let r = CheckerRegistry::new();
+        let checkers = r.instantiate_for(&BugKind::MAIN);
+        assert_eq!(checkers.len(), 3);
+        assert_eq!(checkers[0].kind(), BugKind::NullPointerDeref);
+    }
+
+    #[test]
+    fn instantiate_is_thin_wrapper_over_factory() {
+        for kind in BugKind::ALL {
+            assert_eq!(
+                kind.instantiate().kind(),
+                BuiltinChecker(kind).create().kind()
+            );
+        }
+    }
+}

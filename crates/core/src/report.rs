@@ -40,7 +40,7 @@ impl PossibleBug {
 }
 
 /// A validated, human-readable bug report (the paper's final output).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BugReport {
     /// Bug type.
     pub kind: BugKind,
@@ -106,6 +106,186 @@ impl fmt::Display for BugReport {
     }
 }
 
+/// Version of the JSON report schema produced by [`Report::to_json`].
+///
+/// Bump this when a field is renamed, removed, or changes meaning; adding
+/// new optional fields does not require a bump. [`Report::from_json`]
+/// rejects documents with a different version rather than guessing.
+pub const REPORT_SCHEMA_VERSION: u64 = 1;
+
+/// Error from [`Report::from_json`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportError {
+    /// The document is not well-formed JSON.
+    Json(crate::json::JsonError),
+    /// The document is valid JSON but does not match the report schema
+    /// (wrong version, missing field, wrong type, unknown slug).
+    Schema(String),
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportError::Json(e) => write!(f, "invalid JSON: {e}"),
+            ReportError::Schema(m) => write!(f, "schema mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+/// A versioned collection of bug reports — the stable machine-readable
+/// output of an analysis run (`pata analyze --json`, `--out`).
+///
+/// The wire format is:
+///
+/// ```json
+/// {
+///   "schema_version": 1,
+///   "reports": [
+///     {
+///       "kind": "null-pointer-dereference",
+///       "file": "drv.c",
+///       "function": "probe",
+///       "origin_line": 10,
+///       "site_line": 14,
+///       "category": "drivers",
+///       "alias_paths": ["probe:p", "probe:q"],
+///       "message": "..."
+///     }
+///   ]
+/// }
+/// ```
+///
+/// `kind` uses [`BugKind::as_str`] slugs and `category` uses
+/// [`Category::as_str`] labels. [`Report::from_json`] round-trips
+/// [`Report::to_json`] exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// The schema version the document was written with.
+    pub schema_version: u64,
+    /// The bug reports, in analysis order.
+    pub reports: Vec<BugReport>,
+}
+
+impl Report {
+    /// Wraps `reports` with the current [`REPORT_SCHEMA_VERSION`].
+    pub fn new(reports: Vec<BugReport>) -> Self {
+        Report {
+            schema_version: REPORT_SCHEMA_VERSION,
+            reports,
+        }
+    }
+
+    /// Serializes to the versioned JSON wire format.
+    pub fn to_json(&self) -> String {
+        use crate::json::quote;
+        let mut out = String::new();
+        out.push_str("{\"schema_version\": ");
+        out.push_str(&self.schema_version.to_string());
+        out.push_str(", \"reports\": [");
+        for (i, r) in self.reports.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("{\"kind\": ");
+            out.push_str(&quote(r.kind.as_str()));
+            out.push_str(", \"file\": ");
+            out.push_str(&quote(&r.file));
+            out.push_str(", \"function\": ");
+            out.push_str(&quote(&r.function));
+            out.push_str(", \"origin_line\": ");
+            out.push_str(&r.origin_line.to_string());
+            out.push_str(", \"site_line\": ");
+            out.push_str(&r.site_line.to_string());
+            out.push_str(", \"category\": ");
+            out.push_str(&quote(r.category.as_str()));
+            out.push_str(", \"alias_paths\": [");
+            for (j, p) in r.alias_paths.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&quote(p));
+            }
+            out.push_str("], \"message\": ");
+            out.push_str(&quote(&r.message));
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a document produced by [`Report::to_json`]. Fails on
+    /// malformed JSON, a schema-version mismatch, or missing/mistyped
+    /// fields — silent best-effort decoding would defeat the version gate.
+    pub fn from_json(text: &str) -> Result<Report, ReportError> {
+        use crate::json::JsonValue;
+        let doc = JsonValue::parse(text).map_err(ReportError::Json)?;
+        let schema = |m: &str| ReportError::Schema(m.to_string());
+        let version = doc
+            .get("schema_version")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| schema("missing schema_version"))?;
+        if version != REPORT_SCHEMA_VERSION {
+            return Err(ReportError::Schema(format!(
+                "unsupported schema_version {version} (expected {REPORT_SCHEMA_VERSION})"
+            )));
+        }
+        let items = doc
+            .get("reports")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| schema("missing reports array"))?;
+        let mut reports = Vec::with_capacity(items.len());
+        for item in items {
+            let str_field = |name: &str| {
+                item.get(name)
+                    .and_then(JsonValue::as_str)
+                    .map(str::to_owned)
+                    .ok_or_else(|| ReportError::Schema(format!("missing report field `{name}`")))
+            };
+            let line_field = |name: &str| {
+                item.get(name)
+                    .and_then(JsonValue::as_u64)
+                    .and_then(|v| u32::try_from(v).ok())
+                    .ok_or_else(|| ReportError::Schema(format!("missing report field `{name}`")))
+            };
+            let kind_slug = str_field("kind")?;
+            let kind = BugKind::parse(&kind_slug)
+                .ok_or_else(|| ReportError::Schema(format!("unknown bug kind `{kind_slug}`")))?;
+            let cat_slug = str_field("category")?;
+            let category = Category::ALL
+                .into_iter()
+                .find(|c| c.as_str() == cat_slug)
+                .ok_or_else(|| ReportError::Schema(format!("unknown category `{cat_slug}`")))?;
+            let alias_paths = item
+                .get("alias_paths")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| schema("missing report field `alias_paths`"))?
+                .iter()
+                .map(|p| {
+                    p.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| schema("non-string alias path"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            reports.push(BugReport {
+                kind,
+                file: str_field("file")?,
+                function: str_field("function")?,
+                origin_line: line_field("origin_line")?,
+                site_line: line_field("site_line")?,
+                category,
+                alias_paths,
+                message: str_field("message")?,
+            });
+        }
+        Ok(Report {
+            schema_version: version,
+            reports,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +319,68 @@ mod tests {
             pata_smt::Term::int(1),
         )];
         assert_eq!(a.dedup_key(), b.dedup_key());
+    }
+
+    fn sample_report() -> BugReport {
+        BugReport {
+            kind: BugKind::UseAfterFree,
+            file: "drv/my \"quoted\" file.c".into(),
+            function: "my_probe".into(),
+            origin_line: 10,
+            site_line: 42,
+            category: Category::Drivers,
+            alias_paths: vec!["my_probe:p".into(), "helper:q->field".into()],
+            message: "use after free in `my_probe`\nwith a newline".into(),
+        }
+    }
+
+    #[test]
+    fn report_json_round_trip() {
+        let report = Report::new(vec![sample_report()]);
+        let json = report.to_json();
+        let back = Report::from_json(&json).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.schema_version, REPORT_SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn report_empty_round_trip() {
+        let report = Report::new(vec![]);
+        let back = Report::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn report_rejects_wrong_version() {
+        let json = Report::new(vec![])
+            .to_json()
+            .replace("\"schema_version\": 1", "\"schema_version\": 999");
+        let err = Report::from_json(&json).unwrap_err();
+        assert!(matches!(err, ReportError::Schema(_)), "{err}");
+        assert!(err.to_string().contains("999"));
+    }
+
+    #[test]
+    fn report_rejects_missing_field() {
+        let json = r#"{"schema_version": 1, "reports": [{"kind": "use-after-free"}]}"#;
+        let err = Report::from_json(json).unwrap_err();
+        assert!(matches!(err, ReportError::Schema(_)), "{err}");
+    }
+
+    #[test]
+    fn report_rejects_unknown_kind() {
+        let json = Report::new(vec![sample_report()])
+            .to_json()
+            .replace("use-after-free", "not-a-bug-kind");
+        let err = Report::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("not-a-bug-kind"));
+    }
+
+    #[test]
+    fn report_rejects_malformed_json() {
+        assert!(matches!(
+            Report::from_json("{nope").unwrap_err(),
+            ReportError::Json(_)
+        ));
     }
 }

@@ -28,9 +28,11 @@
 //!   always sound; imperfect canonicalization only costs extra misses.
 
 use crate::report::PossibleBug;
+use crate::telemetry::TelemetrySink;
 use pata_smt::{Constraint, SatResult, Solver, SolverStats, Term};
 use std::collections::HashMap;
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// The verdict for one candidate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -320,11 +322,26 @@ pub struct PathValidator<'a> {
     asserted: Vec<Constraint>,
     cache: Option<&'a ValidationCache>,
     stats: ValidationStats,
+    /// Telemetry gate, checked once per record site (a plain bool: the
+    /// validator is single-threaded, the atomic gate lives on
+    /// [`crate::telemetry::Telemetry`]).
+    tel_enabled: bool,
+    sink: TelemetrySink,
+    solve_calls: u64,
+    pushes: u64,
+    pops: u64,
+    max_scope_depth: usize,
 }
 
 impl<'a> PathValidator<'a> {
     /// Creates a validator, optionally backed by a shared cache.
     pub fn new(cache: Option<&'a ValidationCache>) -> Self {
+        Self::with_telemetry(cache, false)
+    }
+
+    /// Creates a validator that records solver telemetry when `telemetry`
+    /// is true (drain it with [`PathValidator::take_telemetry`]).
+    pub fn with_telemetry(cache: Option<&'a ValidationCache>, telemetry: bool) -> Self {
         let mut solver = Solver::new();
         solver.reserve_symbols(OPAQUE_SYM_BASE);
         PathValidator {
@@ -332,12 +349,38 @@ impl<'a> PathValidator<'a> {
             asserted: Vec::new(),
             cache,
             stats: ValidationStats::default(),
+            tel_enabled: telemetry,
+            sink: TelemetrySink::new(),
+            solve_calls: 0,
+            pushes: 0,
+            pops: 0,
+            max_scope_depth: 0,
         }
     }
 
     /// Lifetime counters.
     pub fn stats(&self) -> ValidationStats {
         self.stats
+    }
+
+    /// Drains the recorded telemetry: `validate.*` counters, the
+    /// `validate.solve` histogram, and the `smt.*` solver-traffic metrics.
+    /// Empty when telemetry was disabled.
+    pub fn take_telemetry(&mut self) -> TelemetrySink {
+        if !self.tel_enabled {
+            return TelemetrySink::new();
+        }
+        let mut sink = std::mem::take(&mut self.sink);
+        sink.add("validate.conjunctions", self.stats.validated);
+        sink.add("validate.cache_hit", self.stats.cache_hits);
+        sink.add("validate.cache_miss", self.stats.cache_misses);
+        sink.add("validate.scope_reuse", self.stats.scope_reuse);
+        sink.add("smt.solve_calls", self.solve_calls);
+        sink.add("smt.push", self.pushes);
+        sink.add("smt.pop", self.pops);
+        sink.add("smt.propagations", self.solver.propagations());
+        sink.gauge_max("smt.scope_depth.max", self.max_scope_depth as i64);
+        sink
     }
 
     /// Validates one candidate bug.
@@ -365,6 +408,22 @@ impl<'a> PathValidator<'a> {
     }
 
     fn solve(&mut self, conj: &[&Constraint]) -> SatResult {
+        let started = if self.tel_enabled {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let result = self.solve_inner(conj);
+        if let Some(started) = started {
+            let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.sink.record_ns("validate.solve", None, ns);
+            self.solve_calls += 1;
+            self.max_scope_depth = self.max_scope_depth.max(self.solver.scope_depth());
+        }
+        result
+    }
+
+    fn solve_inner(&mut self, conj: &[&Constraint]) -> SatResult {
         let mut max_sym = 0u32;
         for c in conj {
             max_sym = max_sym.max(max_sym_in(&c.lhs)).max(max_sym_in(&c.rhs));
@@ -389,6 +448,10 @@ impl<'a> PathValidator<'a> {
             .zip(conj)
             .take_while(|(have, want)| *have == **want)
             .count();
+        if self.tel_enabled {
+            self.pops += self.asserted.len().saturating_sub(shared) as u64;
+            self.pushes += (conj.len() - shared) as u64;
+        }
         while self.asserted.len() > shared {
             self.solver.pop();
             self.asserted.pop();
@@ -514,6 +577,33 @@ mod tests {
         assert_eq!(v.feasibility(&cs, &[]), Feasibility::Infeasible);
         let sat = vec![eq0(big), ne0(big + 1)];
         assert_eq!(v.feasibility(&sat, &[]), Feasibility::Feasible);
+    }
+
+    #[test]
+    fn telemetry_reflects_solver_traffic() {
+        let cache = ValidationCache::new();
+        let mut v = PathValidator::with_telemetry(Some(&cache), true);
+        v.feasibility(&[eq0(0), eq0(1)], &[]);
+        v.feasibility(&[eq0(0), eq0(1), ne0(0)], &[]);
+        v.feasibility(&[eq0(0), eq0(1)], &[]); // repeat: cache hit, no solve
+        let sink = v.take_telemetry();
+        let tel = crate::telemetry::Telemetry::new(true);
+        tel.merge(sink);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("validate.conjunctions"), 3);
+        assert_eq!(snap.counter("validate.cache_hit"), 1);
+        assert_eq!(snap.counter("validate.cache_miss"), 2);
+        assert_eq!(snap.counter("smt.solve_calls"), 2);
+        assert_eq!(snap.counter("smt.push"), 3);
+        assert!(snap.gauge("smt.scope_depth.max") >= Some(2));
+        assert_eq!(snap.histogram("validate.solve").unwrap().count, 2);
+    }
+
+    #[test]
+    fn telemetry_disabled_records_nothing() {
+        let mut v = PathValidator::new(None);
+        v.feasibility(&[eq0(0), ne0(0)], &[]);
+        assert!(v.take_telemetry().is_empty());
     }
 
     #[test]

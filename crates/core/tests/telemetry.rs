@@ -1,0 +1,165 @@
+//! Integration tests for the telemetry subsystem and the open API
+//! (registry, builder, versioned report) across a full pipeline run.
+
+use pata_core::{
+    AnalysisConfig, AnalysisOutcome, BugKind, CheckerRegistry, Pata, RegistryError, Report,
+    REPORT_SCHEMA_VERSION,
+};
+
+/// A module with several interface functions so the parallel scheduler has
+/// real work to spread, and enough state machinery to exercise every
+/// counter family (alias ops, typestates, constraints, validation).
+const MULTI_ROOT_SRC: &str = r#"
+    struct dev { int *res; int lock; int n; };
+
+    static int probe_npd(struct dev *d) {
+        if (d->res == NULL) { log_warn("x"); }
+        return *d->res;
+    }
+
+    static int probe_leak(int n) {
+        int *buf = malloc(32);
+        if (n > 0) {
+            return n;
+        }
+        free(buf);
+        return 0;
+    }
+
+    static int probe_clean(struct dev *d) {
+        if (d->res == NULL) {
+            return -1;
+        }
+        return *d->res;
+    }
+
+    static int probe_infeasible(struct dev *d, int x) {
+        if (x == 0) {
+            if (d->res == NULL) { log_warn("y"); }
+        }
+        if (x != 0) {
+            return *d->res;
+        }
+        return 0;
+    }
+
+    static struct drv drivers = {
+        .p1 = probe_npd,
+        .p2 = probe_leak,
+        .p3 = probe_clean,
+        .p4 = probe_infeasible,
+    };
+"#;
+
+fn analyze_with_threads(threads: usize) -> AnalysisOutcome {
+    let module = pata_cc::compile_one("multi.c", MULTI_ROOT_SRC).unwrap();
+    let config = AnalysisConfig::builder()
+        .checkers(BugKind::ALL.to_vec())
+        .threads(threads)
+        .telemetry(true)
+        .build()
+        .unwrap();
+    Pata::new(config).analyze(module)
+}
+
+/// Merging per-worker shards must be lossless: every monotonic counter is
+/// a commutative sum, so a 4-thread run reports exactly the same counter
+/// values as a single-threaded one. (Durations, gauges, and scheduler
+/// metrics like `driver.work_steals` legitimately depend on the schedule
+/// and are excluded.)
+#[test]
+fn counters_exact_across_thread_counts() {
+    let seq = analyze_with_threads(1);
+    let par = analyze_with_threads(4);
+
+    let counters = |outcome: &AnalysisOutcome| {
+        let mut cs: Vec<(String, Option<String>, u64)> = outcome
+            .telemetry
+            .counters()
+            .into_iter()
+            .filter(|(name, _, _)| !name.starts_with("driver."))
+            .map(|(n, l, v)| (n.to_owned(), l.map(str::to_owned), v))
+            .collect();
+        cs.sort();
+        cs
+    };
+    let seq_counters = counters(&seq);
+    assert!(
+        seq_counters
+            .iter()
+            .any(|(n, _, v)| n == "path.paths" && *v > 0),
+        "expected real exploration work: {seq_counters:?}"
+    );
+    assert_eq!(seq_counters, counters(&par));
+
+    // The verdict stream is identical too.
+    let render = |o: &AnalysisOutcome| {
+        o.reports
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(render(&seq), render(&par));
+}
+
+#[test]
+fn parallel_run_records_thread_gauge() {
+    let par = analyze_with_threads(4);
+    // 4 requested threads capped by the number of roots (4).
+    assert_eq!(par.telemetry.gauge("driver.threads"), Some(4));
+    let seq = analyze_with_threads(1);
+    assert_eq!(seq.telemetry.gauge("driver.threads"), Some(1));
+}
+
+#[test]
+fn per_root_histogram_covers_every_root() {
+    let out = analyze_with_threads(2);
+    for root in ["probe_npd", "probe_leak", "probe_clean", "probe_infeasible"] {
+        let hist = out
+            .telemetry
+            .get("explore.root", Some(root))
+            .unwrap_or_else(|| panic!("missing explore.root histogram for {root}"));
+        match hist {
+            pata_core::telemetry::Metric::Histogram(h) => assert_eq!(h.count, 1),
+            other => panic!("explore.root should be a histogram: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn disabled_telemetry_yields_empty_snapshot() {
+    let module = pata_cc::compile_one("multi.c", MULTI_ROOT_SRC).unwrap();
+    let config = AnalysisConfig::builder().threads(1).build().unwrap();
+    let outcome = Pata::new(config).analyze(module);
+    assert!(outcome.telemetry.is_empty());
+    assert!(outcome.stats.roots > 0, "analysis itself still ran");
+}
+
+/// End-to-end schema round-trip on real pipeline output, not hand-built
+/// reports.
+#[test]
+fn pipeline_report_round_trips_through_json() {
+    let outcome = analyze_with_threads(1);
+    assert!(!outcome.reports.is_empty());
+    let report = Report::new(outcome.reports.clone());
+    let json = report.to_json();
+    let back = Report::from_json(&json).unwrap();
+    assert_eq!(back.schema_version, REPORT_SCHEMA_VERSION);
+    assert_eq!(back, report);
+}
+
+#[test]
+fn registry_rejects_duplicate_id_at_api_boundary() {
+    let mut registry = CheckerRegistry::with_builtins();
+    let err = registry
+        .register(Box::new(pata_core::BuiltinChecker(
+            BugKind::NullPointerDeref,
+        )))
+        .unwrap_err();
+    assert_eq!(
+        err,
+        RegistryError::DuplicateId("null-pointer-dereference".to_owned())
+    );
+    // The failed registration must not have corrupted the registry.
+    assert_eq!(registry.ids().len(), 7);
+}

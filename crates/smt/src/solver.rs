@@ -61,6 +61,11 @@ pub struct SolverStats {
     pub disequalities: usize,
     /// Constraints outside the decided fragment.
     pub unknown: usize,
+    /// Cumulative interval-propagation steps (potential repairs plus
+    /// shortest-path relaxations) over the solver's lifetime. Monotonic:
+    /// [`Solver::pop`] does not rewind it — it measures work done, not
+    /// state held.
+    pub propagations: u64,
 }
 
 /// One difference edge `v - u <= w`.
@@ -132,6 +137,8 @@ pub struct Solver {
     dist_journal: Vec<(u32, i64)>,
     /// A negative cycle was found; the difference fragment is unsat.
     neg_cycle: bool,
+    /// Lifetime interval-propagation step count (see [`SolverStats`]).
+    propagations: u64,
 
     scopes: Vec<Scope>,
 }
@@ -316,6 +323,7 @@ impl Solver {
         // edge's source means the new edge closed a negative cycle.
         let mut queue: Vec<u32> = vec![e.v];
         while let Some(x) = queue.pop() {
+            self.propagations += 1;
             let dx = self.dist[x as usize];
             for i in 0..self.adj[x as usize].len() {
                 let out = self.edges[self.adj[x as usize][i]];
@@ -335,7 +343,7 @@ impl Solver {
     /// Shortest path weight `from → to`, or `None` when unreachable.
     /// Dijkstra over reduced costs `w + dist[u] - dist[v]`, which the
     /// feasible potentials keep non-negative.
-    fn shortest_path(&self, from: u32, to: u32) -> Option<i64> {
+    fn shortest_path(&mut self, from: u32, to: u32) -> Option<i64> {
         let n = self.dist.len();
         if from as usize >= n || to as usize >= n {
             return if from == to { Some(0) } else { None };
@@ -346,6 +354,7 @@ impl Solver {
         red[from as usize] = 0;
         heap.push(std::cmp::Reverse((0, from)));
         while let Some(std::cmp::Reverse((d, x))) = heap.pop() {
+            self.propagations += 1;
             if d > red[x as usize] {
                 continue;
             }
@@ -384,14 +393,25 @@ impl Solver {
 
     /// Decides the conjunction and reports solver statistics.
     pub fn check_with_stats(&mut self) -> (SatResult, SolverStats) {
+        let result = self.decide();
         let stats = SolverStats {
             constraints: self.constraints.len(),
             edges: self.edges.len(),
             disequalities: self.diseqs.len(),
             unknown: self.unknown,
+            propagations: self.propagations,
         };
+        (result, stats)
+    }
+
+    /// Lifetime interval-propagation step count (see [`SolverStats`]).
+    pub fn propagations(&self) -> u64 {
+        self.propagations
+    }
+
+    fn decide(&mut self) -> SatResult {
         if self.contradictions > 0 || self.neg_cycle {
-            return (SatResult::Unsat, stats);
+            return SatResult::Unsat;
         }
         for i in 0..self.diseqs.len() {
             let (a, b, k) = self.diseqs[i];
@@ -401,14 +421,14 @@ impl Solver {
             let d_ba = self.shortest_path(a, b); // value(b)-value(a) <= d_ba
             if let (Some(up), Some(down)) = (d_ab, d_ba) {
                 if up <= k && down <= -k {
-                    return (SatResult::Unsat, stats);
+                    return SatResult::Unsat;
                 }
             }
         }
         if self.unknown > 0 {
-            (SatResult::Unknown, stats)
+            SatResult::Unknown
         } else {
-            (SatResult::Sat, stats)
+            SatResult::Sat
         }
     }
 }
@@ -705,6 +725,30 @@ mod tests {
         assert_eq!(stats.constraints, 2);
         assert!(stats.edges >= 2);
         assert_eq!(stats.disequalities, 1);
+    }
+
+    #[test]
+    fn propagations_count_work_monotonically() {
+        let mut s = Solver::new();
+        let (x, y) = two_syms(&mut s);
+        assert_eq!(s.propagations(), 0);
+        s.assert_cmp(CmpOp::Lt, Term::sym(x), Term::sym(y));
+        s.assert_cmp(CmpOp::Lt, Term::sym(y), Term::int(0));
+        let after_assert = s.propagations();
+        s.push();
+        s.assert_cmp(CmpOp::Ne, Term::sym(x), Term::sym(y));
+        let (_, stats) = s.check_with_stats();
+        assert!(
+            stats.propagations > after_assert,
+            "check must count Dijkstra pops"
+        );
+        let after_check = s.propagations();
+        s.pop();
+        assert_eq!(
+            s.propagations(),
+            after_check,
+            "pop must not rewind the work counter"
+        );
     }
 
     #[test]

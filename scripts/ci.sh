@@ -17,4 +17,10 @@ cargo build --release
 echo "== cargo test -q"
 cargo test -q
 
+echo "== cargo doc --no-deps"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
+echo "== telemetry overhead bench (smoke)"
+cargo bench -p pata-bench --bench telemetry_overhead -- --smoke
+
 echo "CI OK"

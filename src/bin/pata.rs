@@ -4,18 +4,23 @@
 //! pata analyze <file.c>... [--checkers npd,uva,ml,dl,aiu,dbz,uaf] [--na]
 //!              [--no-validate] [--no-validation-cache] [--resolve-fptrs]
 //!              [--loops N] [--threads N] [--json] [--stats]
+//!              [--stats-json PATH] [--profile]
 //! pata corpus <linux|zephyr|riot|tencent> [--scale F] [--seed N] --out DIR
 //! pata ir <file.c>...
 //! pata fsm
 //! ```
 //!
 //! * `analyze` — run PATA on mini-C source files and print reports.
+//!   `--json` prints the versioned report document (see
+//!   `pata_core::report::Report`); `--stats-json PATH` writes the telemetry
+//!   snapshot (see `pata_core::telemetry::TelemetrySnapshot::to_json`);
+//!   `--profile` prints a human-readable profile table to stderr.
 //! * `corpus`  — write a generated OS model (and its ground-truth manifest
 //!               as JSON) to a directory, for external tooling.
 //! * `ir`      — dump the lowered PIR of the given sources.
 //! * `fsm`     — print every built-in checker's FSM (paper Table 2/7).
 
-use pata::core::{AnalysisConfig, BugKind, Pata};
+use pata::core::{AliasMode, AnalysisConfig, BugKind, Pata, Report};
 use pata::corpus::{Corpus, OsProfile};
 use std::io::Write;
 use std::process::ExitCode;
@@ -51,7 +56,8 @@ const USAGE: &str = "\
 usage:
   pata analyze <file.c>... [--checkers LIST] [--na] [--no-validate]
                [--no-validation-cache] [--resolve-fptrs] [--loops N]
-               [--threads N] [--json] [--stats]
+               [--threads N] [--json] [--stats] [--stats-json PATH]
+               [--profile]
   pata corpus <linux|zephyr|riot|tencent> [--scale F] [--seed N] --out DIR
   pata ir <file.c>...
   pata fsm";
@@ -65,7 +71,7 @@ fn split_args(args: &[String]) -> Result<(Vec<String>, Vec<(String, Option<Strin
         if let Some(name) = a.strip_prefix("--") {
             let takes_value = matches!(
                 name,
-                "checkers" | "loops" | "threads" | "scale" | "seed" | "out"
+                "checkers" | "loops" | "threads" | "scale" | "seed" | "out" | "stats-json"
             );
             let value = if takes_value {
                 Some(
@@ -122,73 +128,45 @@ fn compile_files(files: &[String]) -> Result<pata_ir::Module, String> {
     })
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let (files, flags) = split_args(args)?;
-    let mut config = AnalysisConfig::default();
+    let stats_json = flag(&flags, "stats-json").cloned().flatten();
+    let profile = flag(&flags, "profile").is_some();
+    let mut builder = AnalysisConfig::builder().telemetry(stats_json.is_some() || profile);
     if let Some(Some(spec)) = flag(&flags, "checkers") {
-        config.checkers = parse_checkers(spec)?;
+        builder = builder.checkers(parse_checkers(spec)?);
     }
     if flag(&flags, "na").is_some() {
-        config.alias_mode = pata::core::AliasMode::None;
+        builder = builder.alias_mode(AliasMode::None);
     }
     if flag(&flags, "no-validate").is_some() {
-        config.validate_paths = false;
+        builder = builder.validate_paths(false);
     }
     if flag(&flags, "no-validation-cache").is_some() {
-        config.validation_cache = false;
+        builder = builder.validation_cache(false);
     }
     if flag(&flags, "resolve-fptrs").is_some() {
-        config.resolve_fptrs = true;
+        builder = builder.resolve_fptrs(true);
     }
     if let Some(Some(n)) = flag(&flags, "loops") {
-        config.budget.loop_iterations =
-            n.parse().map_err(|_| format!("bad --loops value `{n}`"))?;
+        builder =
+            builder.loop_iterations(n.parse().map_err(|_| format!("bad --loops value `{n}`"))?);
     }
     if let Some(Some(n)) = flag(&flags, "threads") {
-        config.threads = n
-            .parse()
-            .map_err(|_| format!("bad --threads value `{n}`"))?;
+        builder = builder.threads(
+            n.parse()
+                .map_err(|_| format!("bad --threads value `{n}`"))?,
+        );
     }
+    let config = builder
+        .build()
+        .map_err(|e| format!("bad configuration: {e}"))?;
 
     let module = compile_files(&files)?;
     let outcome = Pata::new(config).analyze(module);
 
     if flag(&flags, "json").is_some() {
-        let mut out = String::from("[\n");
-        for (i, r) in outcome.reports.iter().enumerate() {
-            if i > 0 {
-                out.push_str(",\n");
-            }
-            out.push_str(&format!(
-                "  {{\"kind\": \"{}\", \"file\": \"{}\", \"function\": \"{}\", \
-                 \"origin_line\": {}, \"site_line\": {}, \"category\": \"{}\", \
-                 \"message\": \"{}\"}}",
-                r.kind.as_str(),
-                json_escape(&r.file),
-                json_escape(&r.function),
-                r.origin_line,
-                r.site_line,
-                r.category.as_str(),
-                json_escape(&r.message)
-            ));
-        }
-        out.push_str("\n]");
-        println!("{out}");
+        println!("{}", Report::new(outcome.reports.clone()).to_json());
     } else {
         for r in &outcome.reports {
             println!("{r}");
@@ -218,6 +196,13 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
             s.validation_scope_reuse,
             s.work_steals
         );
+    }
+    if let Some(path) = stats_json {
+        std::fs::write(&path, outcome.telemetry.to_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if profile {
+        eprint!("{}", outcome.telemetry.render_profile(10));
     }
     Ok(())
 }

@@ -39,7 +39,7 @@ fn analyze_reports_bug() {
 }
 
 #[test]
-fn analyze_json_is_parseable_shape() {
+fn analyze_json_is_versioned_report() {
     let dir = std::env::temp_dir().join("pata_cli_json");
     std::fs::create_dir_all(&dir).unwrap();
     let file = write_demo(&dir);
@@ -48,9 +48,68 @@ fn analyze_json_is_parseable_shape() {
         .output()
         .unwrap();
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.trim_start().starts_with('['), "{stdout}");
-    assert!(stdout.contains("\"kind\": \"null-pointer-dereference\""));
-    assert!(stdout.trim_end().ends_with(']'));
+    // The output is the versioned wire format: parse it back through the
+    // library, not by string inspection.
+    let report = pata::core::Report::from_json(stdout.trim()).expect("valid report document");
+    assert_eq!(report.schema_version, pata::core::REPORT_SCHEMA_VERSION);
+    assert_eq!(report.reports.len(), 1);
+    assert_eq!(report.reports[0].kind.as_str(), "null-pointer-dereference");
+    assert_eq!(report.reports[0].function, "probe");
+}
+
+#[test]
+fn analyze_stats_json_matches_telemetry_schema() {
+    let dir = std::env::temp_dir().join("pata_cli_stats_json");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = write_demo(&dir);
+    let stats_path = dir.join("stats.json");
+    let out = pata()
+        .args([
+            "analyze",
+            file.to_str().unwrap(),
+            "--stats-json",
+            stats_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = std::fs::read_to_string(&stats_path).unwrap();
+    let doc = pata::core::json::JsonValue::parse(&text).expect("valid JSON");
+    assert_eq!(
+        doc.get("schema_version").and_then(|v| v.as_u64()),
+        Some(u64::from(pata::core::telemetry::TELEMETRY_SCHEMA_VERSION))
+    );
+    let metrics = doc
+        .get("metrics")
+        .and_then(|v| v.as_array())
+        .expect("metrics array");
+    let names: Vec<&str> = metrics
+        .iter()
+        .filter_map(|m| m.get("name").and_then(|n| n.as_str()))
+        .collect();
+    for expected in [
+        "collect.roots",
+        "path.paths",
+        "stage.explore",
+        "validate.solve",
+    ] {
+        assert!(names.contains(&expected), "missing {expected}: {names:?}");
+    }
+}
+
+#[test]
+fn analyze_profile_prints_stage_breakdown() {
+    let dir = std::env::temp_dir().join("pata_cli_profile");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = write_demo(&dir);
+    let out = pata()
+        .args(["analyze", file.to_str().unwrap(), "--profile"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("stage breakdown"), "{stderr}");
+    assert!(stderr.contains("slowest roots"), "{stderr}");
 }
 
 #[test]
