@@ -1,0 +1,155 @@
+//! Stage-1 exploration benchmark: measures the effect of the exploration
+//! reuse layer (state-fingerprint subsumption + memoized callee inlining)
+//! on the linux corpus profile.
+//!
+//! Two configurations explore the *same* module:
+//!
+//! 1. `caches off` — plain DFS, every instruction executed live;
+//! 2. `caches on`  — subsumption table + callee-summary memo (defaults).
+//!
+//! Both must produce bit-identical bug reports — checked here via the full
+//! versioned report document, not just timed. A third configuration runs
+//! with caches on across several threads with fork helpers enabled, and its
+//! report must also be bit-identical (intra-root parallelism is a cache
+//! warmer, never a verdict source).
+//!
+//! The target (ISSUE 3): caches cut live DFS steps
+//! (`insts_processed - insts_replayed`) by at least 30%, with the wall-clock
+//! effect reported alongside.
+//!
+//! `--smoke` runs a reduced single-round configuration for CI; `--scale F`
+//! sizes the corpus (default 1.0).
+
+use pata_bench::harness::time_once;
+use pata_core::{AnalysisConfig, AnalysisStats, Pata, PossibleBug, Report};
+use pata_corpus::{Corpus, OsProfile};
+
+fn config(caches: bool, threads: usize, fork_depth: usize) -> AnalysisConfig {
+    AnalysisConfig::builder()
+        .threads(threads)
+        .exploration_cache(caches)
+        .callee_memo(caches)
+        .fork_depth(fork_depth)
+        .build()
+        .expect("valid bench config")
+}
+
+/// Stage-1 only (the timed region): path exploration without validation.
+fn explore(module: &pata_ir::Module, caches: bool) -> (Vec<PossibleBug>, AnalysisStats) {
+    let pata = Pata::new(config(caches, 1, 0));
+    let (_, candidates, stats) = pata.collect_candidates(module.clone());
+    (candidates, stats)
+}
+
+/// Full pipeline: the versioned report document, for bit-identity checks.
+fn full_report(
+    module: &pata_ir::Module,
+    caches: bool,
+    threads: usize,
+    fork_depth: usize,
+) -> String {
+    let outcome = Pata::new(config(caches, threads, fork_depth)).analyze(module.clone());
+    Report::new(outcome.reports)
+        .with_budget_notes(outcome.budget_notes)
+        .to_json()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let scale: f64 = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if smoke { 0.2 } else { 1.0 });
+    let rounds = if smoke { 1 } else { 5 };
+    println!(
+        "Stage-1 exploration benchmark (linux profile, scale {scale}{})",
+        if smoke { ", smoke mode" } else { "" }
+    );
+
+    let corpus = Corpus::generate(&OsProfile::linux().with_scale(scale));
+    let module = corpus.compile().expect("corpus compiles");
+
+    // Timed: best of `rounds` for each configuration.
+    let mut off_s = f64::INFINITY;
+    let mut on_s = f64::INFINITY;
+    let (base_candidates, base_stats) = explore(&module, false);
+    let mut on_stats = AnalysisStats::default();
+    for _ in 0..rounds {
+        let ((candidates, stats), t) = time_once(|| explore(&module, false));
+        assert_eq!(
+            candidates.len(),
+            base_candidates.len(),
+            "caches-off runs must be deterministic"
+        );
+        assert_eq!(stats.insts_replayed, 0, "caches off must never replay");
+        off_s = off_s.min(t);
+
+        let ((candidates, stats), t) = time_once(|| explore(&module, true));
+        assert_eq!(
+            format!("{candidates:?}"),
+            format!("{base_candidates:?}"),
+            "caches must not change the candidate stream"
+        );
+        assert_eq!(
+            stats.paths_explored, base_stats.paths_explored,
+            "replay must account for every path the live run would take"
+        );
+        on_s = on_s.min(t);
+        on_stats = stats;
+    }
+
+    // Bit-identical bug reports: caches on vs off, single thread vs forked
+    // parallel exploration.
+    let report_off = full_report(&module, false, 1, 0);
+    let report_on = full_report(&module, true, 1, 0);
+    assert_eq!(
+        report_on, report_off,
+        "caches must produce a bit-identical report document"
+    );
+    let report_forked = full_report(&module, true, 4, 2);
+    assert_eq!(
+        report_forked, report_off,
+        "forked exploration must produce a bit-identical report document"
+    );
+
+    let live_off = base_stats.live_steps();
+    let live_on = on_stats.live_steps();
+    let step_cut = 100.0 * (1.0 - live_on as f64 / live_off.max(1) as f64);
+    let wall_cut = 100.0 * (1.0 - on_s / off_s);
+    println!();
+    println!(
+        "{:<24} {:>10} {:>14} {:>12} {:>10}",
+        "configuration", "seconds", "live steps", "replayed", "hits"
+    );
+    println!("{}", "-".repeat(76));
+    println!(
+        "{:<24} {:>10.4} {:>14} {:>12} {:>10}",
+        "caches off", off_s, live_off, 0, 0
+    );
+    println!(
+        "{:<24} {:>10.4} {:>14} {:>12} {:>10}",
+        "caches on (default)",
+        on_s,
+        live_on,
+        on_stats.insts_replayed,
+        on_stats.exploration_cache_hits + on_stats.callee_memo_hits
+    );
+    println!();
+    println!(
+        "subsumption hits: {}  callee memo hits: {}",
+        on_stats.exploration_cache_hits, on_stats.callee_memo_hits
+    );
+    println!("reports: bit-identical across caches on/off and forked parallel exploration");
+    println!("live DFS step cut: {step_cut:.1}%  wall-clock cut: {wall_cut:+.1}%");
+
+    println!();
+    if step_cut >= 30.0 {
+        println!("PASS: exploration reuse cuts live DFS steps by {step_cut:.1}% (target ≥30%)");
+    } else {
+        println!("FAIL: exploration reuse cuts live DFS steps by {step_cut:.1}% (target ≥30%)");
+        std::process::exit(1);
+    }
+}

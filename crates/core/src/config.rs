@@ -88,6 +88,21 @@ pub struct AnalysisConfig {
     /// telemetry costs one branch per record site (`--stats-json` /
     /// `--profile` turn it on in the CLI).
     pub telemetry: bool,
+    /// Stage-1 subsumption cache: skip re-exploring a block whose exact
+    /// entry state (fingerprint) was already fully explored from that
+    /// block, replaying the recorded effects instead. Verdict-neutral by
+    /// construction; disable with `--no-exploration-cache` to measure.
+    pub exploration_cache: bool,
+    /// Stage-1 callee-summary cache: replay a recorded effect journal for
+    /// an inlined call whose callee and entry state match a previous
+    /// inlining, instead of re-exploring the callee body. Verdict-neutral;
+    /// disable with `--no-callee-memo` to measure.
+    pub callee_memo: bool,
+    /// How many shallow branch decisions idle workers may pre-force to
+    /// explore a heavy root's later DFS regions speculatively, warming the
+    /// shared exploration caches (`0` disables intra-root forking). Only
+    /// takes effect when there are more worker threads than roots.
+    pub fork_depth: usize,
 }
 
 impl Default for AnalysisConfig {
@@ -105,6 +120,9 @@ impl Default for AnalysisConfig {
             threads: 0,
             resolve_fptrs: false,
             telemetry: false,
+            exploration_cache: true,
+            callee_memo: true,
+            fork_depth: 2,
         }
     }
 }
@@ -273,6 +291,24 @@ impl AnalysisConfigBuilder {
     /// Enables telemetry recording for the run.
     pub fn telemetry(mut self, on: bool) -> Self {
         self.config.telemetry = on;
+        self
+    }
+
+    /// Enables or disables the stage-1 subsumption cache.
+    pub fn exploration_cache(mut self, on: bool) -> Self {
+        self.config.exploration_cache = on;
+        self
+    }
+
+    /// Enables or disables the stage-1 callee-summary cache.
+    pub fn callee_memo(mut self, on: bool) -> Self {
+        self.config.callee_memo = on;
+        self
+    }
+
+    /// Sets the speculative intra-root fork depth (0 disables forking).
+    pub fn fork_depth(mut self, n: usize) -> Self {
+        self.config.fork_depth = n;
         self
     }
 

@@ -6,10 +6,10 @@
 use crate::collector;
 use crate::config::AnalysisConfig;
 use crate::filter;
-use crate::path::Explorer;
+use crate::path::{Explorer, SharedTables};
 use crate::registry::CheckerRegistry;
 use crate::report::{BugReport, PossibleBug};
-use crate::stats::AnalysisStats;
+use crate::stats::{AnalysisStats, BudgetNote};
 use crate::telemetry::{Span, Telemetry, TelemetrySink, TelemetrySnapshot};
 use crate::typestate::Checker;
 use crate::validate::ValidationCache;
@@ -34,6 +34,10 @@ pub struct AnalysisOutcome {
     /// [`AnalysisConfig::telemetry`] is set. See
     /// [`TelemetrySnapshot::to_json`] for the stable wire format.
     pub telemetry: TelemetrySnapshot,
+    /// Per-root budget-exhaustion detail (in root order): which roots hit
+    /// `max_insts`/`max_paths`, and whether their verdicts come from the
+    /// deterministic cache-free re-run. Empty when no root was truncated.
+    pub budget_notes: Vec<BudgetNote>,
 }
 
 /// The PATA analyzer.
@@ -134,7 +138,7 @@ impl Pata {
             loc_analyzed: module.total_loc(),
             ..AnalysisStats::default()
         };
-        let candidates = self.run_roots(&module, checkers, &roots, &mut stats);
+        let (candidates, budget_notes) = self.run_roots(&module, checkers, &roots, &mut stats);
         if tel_on {
             self.telemetry.record_direct(|sink| span.finish(sink));
         }
@@ -160,6 +164,7 @@ impl Pata {
             stats,
             module,
             telemetry: self.telemetry.snapshot(),
+            budget_notes,
         }
     }
 
@@ -183,7 +188,7 @@ impl Pata {
             loc_analyzed: module.total_loc(),
             ..AnalysisStats::default()
         };
-        let candidates = self.run_roots(&module, &checkers, &roots, &mut stats);
+        let (candidates, _notes) = self.run_roots(&module, &checkers, &roots, &mut stats);
         (module, candidates, stats)
     }
 
@@ -193,25 +198,95 @@ impl Pata {
         checkers: &[Box<dyn Checker>],
         roots: &[FuncId],
         stats: &mut AnalysisStats,
-    ) -> Vec<PossibleBug> {
-        let threads = if self.config.threads == 0 {
+    ) -> (Vec<PossibleBug>, Vec<BudgetNote>) {
+        let hw_threads = if self.config.threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
         } else {
             self.config.threads
         };
-        let threads = threads.min(roots.len().max(1));
+        let threads = hw_threads.min(roots.len().max(1));
         let tel_on = self.telemetry.is_enabled();
         let base = stats.clone();
 
+        // Intra-root parallelism: when there are more workers than roots,
+        // the spare workers fork into the roots' DFS trees as *cache
+        // warmers* — same root, a forced branch prefix steering them into a
+        // region the owner reaches late, results discarded. They only
+        // populate the shared subsumption/memo tables, which the owners
+        // then hit; reports and stats come solely from the owners, so the
+        // outcome is bit-identical to an unforked run by replay exactness.
+        let spare = hw_threads.saturating_sub(roots.len().max(1));
+        let fork_depth = self.config.fork_depth;
+        let fork_on = spare > 0
+            && !roots.is_empty()
+            && fork_depth > 0
+            && (self.config.exploration_cache || self.config.callee_memo);
+        let shared = if fork_on {
+            Some(Arc::new(SharedTables::new()))
+        } else {
+            None
+        };
+        // At most 2^depth - 1 useful prefixes per root (the owner covers
+        // the all-`false` region first on its own).
+        let helper_count = if fork_on {
+            spare.min(roots.len() * ((1usize << fork_depth.min(4)) - 1))
+        } else {
+            0
+        };
+
+        let (all, notes) = std::thread::scope(|scope| {
+            for j in 0..helper_count {
+                let shared_t = Arc::clone(shared.as_ref().unwrap());
+                let root = roots[j % roots.len()];
+                let prefix = helper_prefix(j / roots.len(), fork_depth);
+                let config = &self.config;
+                scope.spawn(move || {
+                    let mut helper = Explorer::new(module, config, checkers, root);
+                    helper.use_shared_tables(shared_t);
+                    helper.set_fork_helper(prefix);
+                    // Candidates and stats are intentionally dropped.
+                    let _ = helper.explore();
+                });
+            }
+            self.run_owners(module, checkers, roots, stats, threads, shared.as_ref())
+        });
+        if tel_on && helper_count > 0 {
+            self.telemetry.record_direct(|sink| {
+                sink.add("driver.explore.forks", helper_count as u64);
+            });
+        }
+        if tel_on {
+            self.record_exploration_counters(stats, &base);
+        }
+        (all, notes)
+    }
+
+    /// Runs the per-root owner explorers (sequentially or with the
+    /// work-stealing scheduler) and merges their results in root order.
+    fn run_owners(
+        &self,
+        module: &Module,
+        checkers: &[Box<dyn Checker>],
+        roots: &[FuncId],
+        stats: &mut AnalysisStats,
+        threads: usize,
+        shared: Option<&Arc<SharedTables>>,
+    ) -> (Vec<PossibleBug>, Vec<BudgetNote>) {
+        let tel_on = self.telemetry.is_enabled();
+
         if threads <= 1 || roots.len() <= 1 {
             let mut all = Vec::new();
+            let mut notes = Vec::new();
             let mut sink = TelemetrySink::new();
             let mut alias_ops = [0u64; 7];
             for &root in roots {
                 let span = Span::start(tel_on, "explore.root");
-                let explorer = Explorer::new(module, &self.config, checkers, root);
+                let mut explorer = Explorer::new(module, &self.config, checkers, root);
+                if let Some(t) = shared {
+                    explorer.use_shared_tables(Arc::clone(t));
+                }
                 let result = explorer.explore();
                 if tel_on {
                     span.finish_labeled(&mut sink, Some(module.function(root).name().into()));
@@ -221,15 +296,15 @@ impl Pata {
                 }
                 *stats += &result.stats;
                 all.extend(result.candidates);
+                notes.extend(result.budget_note);
             }
             if tel_on {
                 flush_alias_ops(&mut sink, &alias_ops);
                 sink.gauge_max("driver.threads", 1);
                 self.telemetry.merge(sink);
-                self.record_exploration_counters(stats, &base);
             }
             // Candidates are ordered by root for determinism.
-            return all;
+            return (all, notes);
         }
 
         // Root-level parallelism with work stealing: roots are dealt
@@ -245,8 +320,8 @@ impl Pata {
             queues[i % threads].lock().unwrap().push_back(i);
         }
         let steals = AtomicU64::new(0);
-        let collected: Mutex<Vec<(usize, Vec<PossibleBug>, AnalysisStats)>> =
-            Mutex::new(Vec::new());
+        type RootResult = (usize, Vec<PossibleBug>, AnalysisStats, Option<BudgetNote>);
+        let collected: Mutex<Vec<RootResult>> = Mutex::new(Vec::new());
         std::thread::scope(|scope| {
             for w in 0..threads {
                 let queues = &queues;
@@ -272,7 +347,10 @@ impl Pata {
                         }
                         let Some(i) = task else { break };
                         let span = Span::start(tel_on, "explore.root");
-                        let explorer = Explorer::new(module, &self.config, checkers, roots[i]);
+                        let mut explorer = Explorer::new(module, &self.config, checkers, roots[i]);
+                        if let Some(t) = shared {
+                            explorer.use_shared_tables(Arc::clone(t));
+                        }
                         let result = explorer.explore();
                         if tel_on {
                             span.finish_labeled(
@@ -283,10 +361,12 @@ impl Pata {
                                 *acc += n;
                             }
                         }
-                        collected
-                            .lock()
-                            .unwrap()
-                            .push((i, result.candidates, result.stats));
+                        collected.lock().unwrap().push((
+                            i,
+                            result.candidates,
+                            result.stats,
+                            result.budget_note,
+                        ));
                     }
                     if tel_on {
                         flush_alias_ops(&mut sink, &alias_ops);
@@ -302,21 +382,23 @@ impl Pata {
         // Merge in root order regardless of which worker ran what — the
         // candidate stream (and so the final report set) is identical to a
         // single-threaded run.
-        per_root.sort_by_key(|(i, _, _)| *i);
+        per_root.sort_by_key(|(i, ..)| *i);
         let mut all = Vec::new();
-        for (_, candidates, s) in per_root {
+        let mut notes = Vec::new();
+        for (_, candidates, s, note) in per_root {
             *stats += &s;
             all.extend(candidates);
+            notes.extend(note);
         }
-        stats.work_steals += steals.into_inner();
+        let stolen = steals.into_inner();
+        stats.work_steals += stolen;
         if tel_on {
-            self.record_exploration_counters(stats, &base);
             self.telemetry.record_direct(|sink| {
                 sink.gauge_max("driver.threads", threads as i64);
-                sink.add("driver.work_steals", stats.work_steals - base.work_steals);
+                sink.add("driver.work_steals", stolen);
             });
         }
-        all
+        (all, notes)
     }
 
     /// Records the exploration-volume counters derived from the merged
@@ -338,8 +420,32 @@ impl Pata {
                 "constraints.emitted",
                 stats.constraints_aware - base.constraints_aware,
             );
+            // Exploration-reuse counters. Exact for unforked runs; with
+            // fork helpers warming shared tables, hit counts depend on
+            // helper/owner timing (the verdicts never do).
+            sink.add(
+                "driver.explore.sub_hits",
+                stats.exploration_cache_hits - base.exploration_cache_hits,
+            );
+            sink.add(
+                "driver.explore.memo_hits",
+                stats.callee_memo_hits - base.callee_memo_hits,
+            );
+            sink.add(
+                "driver.explore.insts_replayed",
+                stats.insts_replayed - base.insts_replayed,
+            );
         });
     }
+}
+
+/// The forced branch prefix for helper `k` at `depth`: the binary digits of
+/// `k + 1` (skipping the all-`false` region the owner explores first),
+/// most-significant first, cycling when `k` exceeds the prefix space.
+fn helper_prefix(k: usize, depth: usize) -> Vec<bool> {
+    let slots = (1usize << depth.min(4)).saturating_sub(1).max(1);
+    let v = (k % slots) + 1;
+    (0..depth.min(4)).rev().map(|b| (v >> b) & 1 == 1).collect()
 }
 
 /// Converts a per-worker alias-op array into labeled `alias.op` counters.

@@ -56,6 +56,7 @@ pub mod collector;
 pub mod config;
 pub mod driver;
 pub mod filter;
+pub(crate) mod fingerprint;
 pub mod json;
 pub mod path;
 pub mod registry;
@@ -70,6 +71,6 @@ pub use config::{AliasMode, AnalysisConfig, AnalysisConfigBuilder, ConfigError, 
 pub use driver::{AnalysisOutcome, Pata};
 pub use registry::{BuiltinChecker, CheckerFactory, CheckerRegistry, RegistryError};
 pub use report::{BugReport, PossibleBug, Report, ReportError, REPORT_SCHEMA_VERSION};
-pub use stats::AnalysisStats;
+pub use stats::{AnalysisStats, BudgetNote};
 pub use telemetry::{Telemetry, TelemetrySink, TelemetrySnapshot};
 pub use validate::{PathValidator, ValidationCache};

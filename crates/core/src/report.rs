@@ -166,6 +166,11 @@ pub struct Report {
     pub schema_version: u64,
     /// The bug reports, in analysis order.
     pub reports: Vec<BugReport>,
+    /// Roots whose exploration was budget-truncated (an *optional* envelope
+    /// field: emitted only when non-empty, absent on parse means empty, no
+    /// schema bump — truncation detail qualifies the verdicts but does not
+    /// change their format).
+    pub budget_notes: Vec<crate::stats::BudgetNote>,
 }
 
 impl Report {
@@ -174,7 +179,14 @@ impl Report {
         Report {
             schema_version: REPORT_SCHEMA_VERSION,
             reports,
+            budget_notes: Vec::new(),
         }
+    }
+
+    /// Attaches per-root budget-exhaustion notes to the envelope.
+    pub fn with_budget_notes(mut self, notes: Vec<crate::stats::BudgetNote>) -> Self {
+        self.budget_notes = notes;
+        self
     }
 
     /// Serializes to the versioned JSON wire format.
@@ -211,7 +223,24 @@ impl Report {
             out.push_str(&quote(&r.message));
             out.push('}');
         }
-        out.push_str("]}");
+        out.push(']');
+        if !self.budget_notes.is_empty() {
+            out.push_str(", \"budget_notes\": [");
+            for (i, n) in self.budget_notes.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str("{\"root\": ");
+                out.push_str(&quote(&n.root));
+                out.push_str(", \"reason\": ");
+                out.push_str(&quote(&n.reason));
+                out.push_str(", \"caches_disabled\": ");
+                out.push_str(if n.caches_disabled { "true" } else { "false" });
+                out.push('}');
+            }
+            out.push(']');
+        }
+        out.push('}');
         out
     }
 
@@ -279,9 +308,32 @@ impl Report {
                 message: str_field("message")?,
             });
         }
+        // Optional envelope field: absent means no root was truncated.
+        let mut budget_notes = Vec::new();
+        if let Some(items) = doc.get("budget_notes").and_then(JsonValue::as_array) {
+            for item in items {
+                let str_field = |name: &str| {
+                    item.get(name)
+                        .and_then(JsonValue::as_str)
+                        .map(str::to_owned)
+                        .ok_or_else(|| {
+                            ReportError::Schema(format!("missing budget note field `{name}`"))
+                        })
+                };
+                budget_notes.push(crate::stats::BudgetNote {
+                    root: str_field("root")?,
+                    reason: str_field("reason")?,
+                    caches_disabled: item
+                        .get("caches_disabled")
+                        .and_then(JsonValue::as_bool)
+                        .ok_or_else(|| schema("missing budget note field `caches_disabled`"))?,
+                });
+            }
+        }
         Ok(Report {
             schema_version: version,
             reports,
+            budget_notes,
         })
     }
 }

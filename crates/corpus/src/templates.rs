@@ -726,6 +726,63 @@ fn clean_helper_chain(ctx: &Ctx) -> Snippet {
     s
 }
 
+/// Feature-flag tuning: a run of independent symmetric diamonds (both arms
+/// assign the same locals, control falls through) — the quirks-table /
+/// config-flag shape that dominates real probe functions. Path count is
+/// exponential in the diamond count while the analysis state reconverges at
+/// every join, so this is also the shape where exploration reuse pays.
+fn clean_feature_tune(ctx: &Ctx) -> Snippet {
+    let f = ctx.n("tune");
+    let mut s = Snippet::default();
+    s.push(format!("static int {f}(struct {} *d) {{", ctx.dev));
+    s.push("    int rate = 0;");
+    s.push("    int burst = 0;");
+    s.push("    int win = 0;");
+    s.push("    int depth = 0;");
+    s.push("    if (d->flags > 0) { rate = 100; } else { rate = 10; }");
+    s.push("    if (d->mode > 1) { burst = 8; } else { burst = 1; }");
+    s.push("    if (d->irq > 0) { win = 4; } else { win = 2; }");
+    s.push("    if (d->dma > 0) { depth = 16; } else { depth = 2; }");
+    s.push("    if (d->nlanes > 1) { rate = rate + burst; } else { rate = rate - burst; }");
+    s.push("    if (d->state > 0) { win = win + depth; } else { win = win - depth; }");
+    s.push("    return rate + win;");
+    s.push("}");
+    s.interfaces.push(f);
+    s
+}
+
+/// Both arms of each branch acknowledge through the same small helper —
+/// the notify/ack idiom. The two call sites reach the helper with identical
+/// analysis state, so the callee summary recorded at the first site replays
+/// at the second.
+fn clean_ack_paths(ctx: &Ctx) -> Snippet {
+    let ping = ctx.n("ping");
+    let f = ctx.n("poll");
+    let mut s = Snippet::default();
+    s.push(format!("static int {ping}(int n) {{"));
+    s.push("    if (n > 0) { n = n - 1; }");
+    s.push("    if (n > 4) { n = 4; }");
+    s.push("    return n;");
+    s.push("}");
+    s.push(format!("static int {f}(struct {} *d) {{", ctx.dev));
+    s.push("    int a = 0;");
+    s.push("    int b = 0;");
+    s.push("    if (d->irq > 0) {");
+    s.push(format!("        a = {ping}(2);"));
+    s.push("    } else {");
+    s.push(format!("        a = {ping}(2);"));
+    s.push("    }");
+    s.push("    if (d->dma > 0) {");
+    s.push(format!("        b = {ping}(3);"));
+    s.push("    } else {");
+    s.push(format!("        b = {ping}(3);"));
+    s.push("    }");
+    s.push("    return a + b;");
+    s.push("}");
+    s.interfaces.push(f);
+    s
+}
+
 fn clean_loop_sum(ctx: &Ctx) -> Snippet {
     let f = ctx.n("sum");
     let mut s = Snippet::default();
@@ -896,6 +953,8 @@ pub fn clean_templates() -> Vec<(&'static str, Template)> {
         ("clean_balanced_lock", clean_balanced_lock),
         ("clean_alloc_free", clean_alloc_free),
         ("clean_helper_chain", clean_helper_chain),
+        ("clean_feature_tune", clean_feature_tune),
+        ("clean_ack_paths", clean_ack_paths),
         ("clean_loop_sum", clean_loop_sum),
         ("clean_state_machine", clean_state_machine),
         ("clean_init_path", clean_init_path),

@@ -23,4 +23,23 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 echo "== telemetry overhead bench (smoke)"
 cargo bench -p pata-bench --bench telemetry_overhead -- --smoke
 
+echo "== exploration reuse bench (smoke)"
+cargo bench -p pata-bench --bench exploration -- --smoke
+
+echo "== stage timing summary"
+# One-line per-stage wall-clock breakdown from the --stats-json telemetry
+# snapshot of an end-to-end run on a small generated corpus.
+tmp_dir=$(mktemp -d)
+trap 'rm -rf "$tmp_dir"' EXIT
+cargo run -q --release --bin pata -- corpus linux --scale 0.05 --seed 7 \
+    --out "$tmp_dir/corp" >/dev/null
+cargo run -q --release --bin pata -- analyze "$tmp_dir"/corp/*/*.c \
+    --stats-json "$tmp_dir/stats.json" >/dev/null
+# Each metric serializes on one line: {"name": "stage.X", ..., "total_ns": N, ...}.
+stage_ns() {
+    grep "\"name\": \"stage.$1\"" "$tmp_dir/stats.json" \
+        | sed 's/.*"total_ns": \([0-9]*\).*/\1/' | head -n 1
+}
+echo "stage timing (ns): collect=$(stage_ns collect) explore=$(stage_ns explore) filter=$(stage_ns filter)"
+
 echo "CI OK"

@@ -3,7 +3,8 @@
 //! ```text
 //! pata analyze <file.c>... [--checkers npd,uva,ml,dl,aiu,dbz,uaf] [--na]
 //!              [--no-validate] [--no-validation-cache] [--resolve-fptrs]
-//!              [--loops N] [--threads N] [--json] [--stats]
+//!              [--loops N] [--threads N] [--no-exploration-cache]
+//!              [--no-callee-memo] [--fork-depth N] [--json] [--stats]
 //!              [--stats-json PATH] [--profile]
 //! pata corpus <linux|zephyr|riot|tencent> [--scale F] [--seed N] --out DIR
 //! pata ir <file.c>...
@@ -56,7 +57,8 @@ const USAGE: &str = "\
 usage:
   pata analyze <file.c>... [--checkers LIST] [--na] [--no-validate]
                [--no-validation-cache] [--resolve-fptrs] [--loops N]
-               [--threads N] [--json] [--stats] [--stats-json PATH]
+               [--threads N] [--no-exploration-cache] [--no-callee-memo]
+               [--fork-depth N] [--json] [--stats] [--stats-json PATH]
                [--profile]
   pata corpus <linux|zephyr|riot|tencent> [--scale F] [--seed N] --out DIR
   pata ir <file.c>...
@@ -71,7 +73,14 @@ fn split_args(args: &[String]) -> Result<(Vec<String>, Vec<(String, Option<Strin
         if let Some(name) = a.strip_prefix("--") {
             let takes_value = matches!(
                 name,
-                "checkers" | "loops" | "threads" | "scale" | "seed" | "out" | "stats-json"
+                "checkers"
+                    | "loops"
+                    | "threads"
+                    | "fork-depth"
+                    | "scale"
+                    | "seed"
+                    | "out"
+                    | "stats-json"
             );
             let value = if takes_value {
                 Some(
@@ -158,6 +167,18 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
                 .map_err(|_| format!("bad --threads value `{n}`"))?,
         );
     }
+    if flag(&flags, "no-exploration-cache").is_some() {
+        builder = builder.exploration_cache(false);
+    }
+    if flag(&flags, "no-callee-memo").is_some() {
+        builder = builder.callee_memo(false);
+    }
+    if let Some(Some(n)) = flag(&flags, "fork-depth") {
+        builder = builder.fork_depth(
+            n.parse()
+                .map_err(|_| format!("bad --fork-depth value `{n}`"))?,
+        );
+    }
     let config = builder
         .build()
         .map_err(|e| format!("bad configuration: {e}"))?;
@@ -166,7 +187,12 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let outcome = Pata::new(config).analyze(module);
 
     if flag(&flags, "json").is_some() {
-        println!("{}", Report::new(outcome.reports.clone()).to_json());
+        println!(
+            "{}",
+            Report::new(outcome.reports.clone())
+                .with_budget_notes(outcome.budget_notes.clone())
+                .to_json()
+        );
     } else {
         for r in &outcome.reports {
             println!("{r}");
@@ -196,6 +222,13 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
             s.validation_scope_reuse,
             s.work_steals
         );
+        eprintln!(
+            "exploration cache hits: {}  callee memo hits: {}  live steps: {} ({} replayed)",
+            s.exploration_cache_hits,
+            s.callee_memo_hits,
+            s.live_steps(),
+            s.insts_replayed
+        );
     }
     if let Some(path) = stats_json {
         std::fs::write(&path, outcome.telemetry.to_json())
@@ -203,6 +236,18 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     }
     if profile {
         eprint!("{}", outcome.telemetry.render_profile(10));
+        for note in &outcome.budget_notes {
+            eprintln!(
+                "budget exhausted: root {} ({}){}",
+                note.root,
+                note.reason,
+                if note.caches_disabled {
+                    ""
+                } else {
+                    " [re-run with caches off]"
+                }
+            );
+        }
     }
     Ok(())
 }
