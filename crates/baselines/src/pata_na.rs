@@ -9,7 +9,7 @@
 //! (69% vs 28%) despite running faster.
 
 use crate::Analyzer;
-use pata_core::{AnalysisConfig, BugReport, CheckerRegistry, Pata};
+use pata_core::{AnalysisConfig, AnalysisSession, BugReport, CheckerRegistry};
 use pata_ir::Module;
 
 /// The PATA-NA analyzer.
@@ -50,7 +50,7 @@ impl Analyzer for PataNaAnalyzer {
         let mut config = self.config.clone().unwrap_or_default();
         config.alias_mode = pata_core::AliasMode::None;
         let checkers = self.registry.instantiate_for(&config.checkers);
-        let outcome = Pata::new(config).analyze_with(module.clone(), &checkers);
+        let outcome = AnalysisSession::new(config).analyze_module_with(module.clone(), &checkers);
         outcome.reports
     }
 }
@@ -85,7 +85,7 @@ mod tests {
             "PATA-NA should report the Fig. 9 false positive: {na:?}"
         );
 
-        let pata = Pata::new(AnalysisConfig::default()).analyze(module.clone());
+        let pata = AnalysisSession::new(AnalysisConfig::default()).analyze_module(module.clone());
         assert!(
             !pata
                 .reports
@@ -116,7 +116,7 @@ mod tests {
             "PATA-NA reports a false leak: {na:?}"
         );
 
-        let pata = Pata::new(AnalysisConfig::default()).analyze(module.clone());
+        let pata = AnalysisSession::new(AnalysisConfig::default()).analyze_module(module.clone());
         assert!(
             !pata.reports.iter().any(|r| r.kind == BugKind::MemoryLeak),
             "PATA sees the free through the alias set: {:?}",

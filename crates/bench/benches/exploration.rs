@@ -21,7 +21,7 @@
 //! sizes the corpus (default 1.0).
 
 use pata_bench::harness::time_once;
-use pata_core::{AnalysisConfig, AnalysisStats, Pata, PossibleBug, Report};
+use pata_core::{AnalysisConfig, AnalysisSession, AnalysisStats, PossibleBug, Report};
 use pata_corpus::{Corpus, OsProfile};
 
 fn config(caches: bool, threads: usize, fork_depth: usize) -> AnalysisConfig {
@@ -36,7 +36,7 @@ fn config(caches: bool, threads: usize, fork_depth: usize) -> AnalysisConfig {
 
 /// Stage-1 only (the timed region): path exploration without validation.
 fn explore(module: &pata_ir::Module, caches: bool) -> (Vec<PossibleBug>, AnalysisStats) {
-    let pata = Pata::new(config(caches, 1, 0));
+    let pata = AnalysisSession::new(config(caches, 1, 0));
     let (_, candidates, stats) = pata.collect_candidates(module.clone());
     (candidates, stats)
 }
@@ -48,7 +48,8 @@ fn full_report(
     threads: usize,
     fork_depth: usize,
 ) -> String {
-    let outcome = Pata::new(config(caches, threads, fork_depth)).analyze(module.clone());
+    let outcome =
+        AnalysisSession::new(config(caches, threads, fork_depth)).analyze_module(module.clone());
     Report::new(outcome.reports)
         .with_budget_notes(outcome.budget_notes)
         .to_json()

@@ -3,7 +3,7 @@
 //! validation, on a fixed small corpus.
 
 use pata_bench::harness::{bench, hold};
-use pata_core::{AnalysisConfig, Pata};
+use pata_core::{AnalysisConfig, AnalysisSession};
 use pata_corpus::{Corpus, OsProfile};
 
 fn main() {
@@ -16,30 +16,30 @@ fn main() {
 
     let module = corpus.compile().unwrap();
     bench("pipeline/analyze_alias_aware", || {
-        let out = Pata::new(AnalysisConfig {
+        let out = AnalysisSession::new(AnalysisConfig {
             threads: 1,
             ..AnalysisConfig::default()
         })
-        .analyze(module.clone());
+        .analyze_module(module.clone());
         hold(out.reports.len())
     });
 
     bench("pipeline/analyze_pata_na", || {
-        let out = Pata::new(AnalysisConfig {
+        let out = AnalysisSession::new(AnalysisConfig {
             threads: 1,
             ..AnalysisConfig::without_alias()
         })
-        .analyze(module.clone());
+        .analyze_module(module.clone());
         hold(out.reports.len())
     });
 
     bench("pipeline/analyze_no_validation", || {
-        let out = Pata::new(AnalysisConfig {
+        let out = AnalysisSession::new(AnalysisConfig {
             threads: 1,
             validate_paths: false,
             ..AnalysisConfig::default()
         })
-        .analyze(module.clone());
+        .analyze_module(module.clone());
         hold(out.reports.len())
     });
 }

@@ -20,7 +20,7 @@
 
 use pata_bench::harness::{bench, hold, time_once};
 use pata_core::telemetry::{Span, Telemetry};
-use pata_core::{AnalysisConfig, Pata};
+use pata_core::{AnalysisConfig, AnalysisSession};
 use pata_corpus::{Corpus, OsProfile};
 
 fn run_pipeline(module: &pata_ir::Module, telemetry: bool) -> (Vec<String>, u64) {
@@ -29,7 +29,7 @@ fn run_pipeline(module: &pata_ir::Module, telemetry: bool) -> (Vec<String>, u64)
         .telemetry(telemetry)
         .build()
         .expect("valid bench config");
-    let outcome = Pata::new(config).analyze(module.clone());
+    let outcome = AnalysisSession::new(config).analyze_module(module.clone());
     let verdicts = outcome.reports.iter().map(ToString::to_string).collect();
     (verdicts, outcome.stats.paths_explored)
 }

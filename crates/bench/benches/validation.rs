@@ -17,7 +17,7 @@
 
 use pata_bench::harness::time_once;
 use pata_core::validate::{validate_constraints, Feasibility, PathValidator, ValidationCache};
-use pata_core::{AnalysisConfig, Pata, PossibleBug};
+use pata_core::{AnalysisConfig, AnalysisSession, PossibleBug};
 use pata_corpus::{Corpus, OsProfile};
 
 const ROUNDS: usize = 10;
@@ -53,7 +53,7 @@ fn main() {
 
     let corpus = Corpus::generate(&profile);
     let module = corpus.compile().expect("corpus compiles");
-    let pata = Pata::new(AnalysisConfig {
+    let pata = AnalysisSession::new(AnalysisConfig {
         threads: 1,
         ..AnalysisConfig::default()
     });

@@ -22,7 +22,7 @@
 pub mod harness;
 
 use pata_baselines::Analyzer;
-use pata_core::{AnalysisConfig, AnalysisOutcome, BugKind, Pata};
+use pata_core::{AnalysisConfig, AnalysisOutcome, AnalysisSession, BugKind};
 use pata_corpus::{Corpus, OsProfile, Score};
 use std::time::Instant;
 
@@ -53,7 +53,7 @@ pub fn run_profile(profile: &OsProfile, config: AnalysisConfig) -> ProfileRun {
     let corpus = Corpus::generate(profile);
     let module = corpus.compile().expect("generated corpus must compile");
     let start = Instant::now();
-    let outcome = Pata::new(config).analyze(module);
+    let outcome = AnalysisSession::new(config).analyze_module(module);
     let seconds = start.elapsed().as_secs_f64();
     let score = corpus.manifest.score(&outcome.reports);
     ProfileRun {

@@ -40,13 +40,34 @@ pub struct AnalysisOutcome {
     pub budget_notes: Vec<BudgetNote>,
 }
 
-/// The PATA analyzer.
+/// One root's exploration result — the per-root granularity the session
+/// layer caches and persists (candidates, exploration stats and budget note
+/// for exactly one interface function).
+#[derive(Debug)]
+pub(crate) struct RootRun {
+    /// Index into the explored root slice (merge key: results are combined
+    /// in root order regardless of scheduling).
+    pub(crate) index: usize,
+    /// Raw stage-1 candidates from this root.
+    pub(crate) candidates: Vec<PossibleBug>,
+    /// Exploration stats accumulated by this root alone.
+    pub(crate) stats: AnalysisStats,
+    /// Budget-exhaustion note, if the root was truncated.
+    pub(crate) note: Option<BudgetNote>,
+}
+
+/// The PATA analysis engine.
+///
+/// This is the internal pipeline driver. Construct analyses through
+/// [`crate::AnalysisSession`] — the one public entry point — rather than
+/// through the deprecated constructors kept here for compatibility:
 ///
 /// ```
-/// use pata_core::{AnalysisConfig, Pata};
+/// use pata_core::{AnalysisConfig, AnalysisSession};
 ///
 /// let module = pata_cc::compile_one("m.c", "void root(void) { }").unwrap();
-/// let outcome = Pata::new(AnalysisConfig::default()).analyze(module);
+/// let session = AnalysisSession::new(AnalysisConfig::default());
+/// let outcome = session.analyze_module(module);
 /// assert_eq!(outcome.stats.roots, 1);
 /// ```
 #[derive(Debug)]
@@ -65,14 +86,33 @@ pub struct Pata {
 }
 
 impl Pata {
-    /// Creates an analyzer with `config` and the built-in checker registry.
+    /// Creates an engine with `config` and the built-in checker registry.
+    #[doc(hidden)]
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `AnalysisSession::new` — the session API is the one public entry point"
+    )]
     pub fn new(config: AnalysisConfig) -> Self {
-        Self::with_registry(config, CheckerRegistry::with_builtins())
+        Self::create(config)
     }
 
-    /// Creates an analyzer with a custom [`CheckerRegistry`] — the hook for
-    /// out-of-tree checkers (see `examples/double_unlock_plugin.rs`).
+    /// Creates an engine with a custom [`CheckerRegistry`].
+    #[doc(hidden)]
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `AnalysisSession::with_registry` — the session API is the one public entry point"
+    )]
     pub fn with_registry(config: AnalysisConfig, registry: CheckerRegistry) -> Self {
+        Self::create_with_registry(config, registry)
+    }
+
+    /// Internal constructor backing [`crate::AnalysisSession`].
+    pub(crate) fn create(config: AnalysisConfig) -> Self {
+        Self::create_with_registry(config, CheckerRegistry::with_builtins())
+    }
+
+    /// Internal constructor backing [`crate::AnalysisSession::with_registry`].
+    pub(crate) fn create_with_registry(config: AnalysisConfig, registry: CheckerRegistry) -> Self {
         let telemetry = Arc::new(Telemetry::new(config.telemetry));
         Pata {
             config,
@@ -80,6 +120,11 @@ impl Pata {
             registry,
             telemetry,
         }
+    }
+
+    /// Instantiates the configured checkers through the registry.
+    pub(crate) fn instantiate_checkers(&self) -> Vec<Box<dyn Checker>> {
+        self.registry.instantiate_for(&self.config.checkers)
     }
 
     /// The active configuration.
@@ -199,6 +244,29 @@ impl Pata {
         roots: &[FuncId],
         stats: &mut AnalysisStats,
     ) -> (Vec<PossibleBug>, Vec<BudgetNote>) {
+        let runs = self.explore_roots(module, checkers, roots, stats);
+        let mut all = Vec::new();
+        let mut notes = Vec::new();
+        for run in runs {
+            all.extend(run.candidates);
+            notes.extend(run.note);
+        }
+        (all, notes)
+    }
+
+    /// Explores `roots` (any subset of the module's interface functions)
+    /// and returns each root's result separately, in root order. This is
+    /// the incremental re-analysis entry point: the session layer passes
+    /// only the *dirty* roots and splices cached results in for the rest.
+    /// Aggregate exploration counters are merged into `stats` exactly as a
+    /// full run would.
+    pub(crate) fn explore_roots(
+        &self,
+        module: &Module,
+        checkers: &[Box<dyn Checker>],
+        roots: &[FuncId],
+        stats: &mut AnalysisStats,
+    ) -> Vec<RootRun> {
         let hw_threads = if self.config.threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -236,7 +304,7 @@ impl Pata {
             0
         };
 
-        let (all, notes) = std::thread::scope(|scope| {
+        let runs = std::thread::scope(|scope| {
             for j in 0..helper_count {
                 let shared_t = Arc::clone(shared.as_ref().unwrap());
                 let root = roots[j % roots.len()];
@@ -260,11 +328,12 @@ impl Pata {
         if tel_on {
             self.record_exploration_counters(stats, &base);
         }
-        (all, notes)
+        runs
     }
 
     /// Runs the per-root owner explorers (sequentially or with the
-    /// work-stealing scheduler) and merges their results in root order.
+    /// work-stealing scheduler) and returns their results in root order,
+    /// merging every root's counters into `stats`.
     fn run_owners(
         &self,
         module: &Module,
@@ -273,15 +342,14 @@ impl Pata {
         stats: &mut AnalysisStats,
         threads: usize,
         shared: Option<&Arc<SharedTables>>,
-    ) -> (Vec<PossibleBug>, Vec<BudgetNote>) {
+    ) -> Vec<RootRun> {
         let tel_on = self.telemetry.is_enabled();
 
         if threads <= 1 || roots.len() <= 1 {
-            let mut all = Vec::new();
-            let mut notes = Vec::new();
+            let mut runs = Vec::with_capacity(roots.len());
             let mut sink = TelemetrySink::new();
             let mut alias_ops = [0u64; 7];
-            for &root in roots {
+            for (i, &root) in roots.iter().enumerate() {
                 let span = Span::start(tel_on, "explore.root");
                 let mut explorer = Explorer::new(module, &self.config, checkers, root);
                 if let Some(t) = shared {
@@ -295,16 +363,20 @@ impl Pata {
                     }
                 }
                 *stats += &result.stats;
-                all.extend(result.candidates);
-                notes.extend(result.budget_note);
+                runs.push(RootRun {
+                    index: i,
+                    candidates: result.candidates,
+                    stats: result.stats,
+                    note: result.budget_note,
+                });
             }
             if tel_on {
                 flush_alias_ops(&mut sink, &alias_ops);
                 sink.gauge_max("driver.threads", 1);
                 self.telemetry.merge(sink);
             }
-            // Candidates are ordered by root for determinism.
-            return (all, notes);
+            // Results are ordered by root for determinism.
+            return runs;
         }
 
         // Root-level parallelism with work stealing: roots are dealt
@@ -320,8 +392,7 @@ impl Pata {
             queues[i % threads].lock().unwrap().push_back(i);
         }
         let steals = AtomicU64::new(0);
-        type RootResult = (usize, Vec<PossibleBug>, AnalysisStats, Option<BudgetNote>);
-        let collected: Mutex<Vec<RootResult>> = Mutex::new(Vec::new());
+        let collected: Mutex<Vec<RootRun>> = Mutex::new(Vec::new());
         std::thread::scope(|scope| {
             for w in 0..threads {
                 let queues = &queues;
@@ -361,12 +432,12 @@ impl Pata {
                                 *acc += n;
                             }
                         }
-                        collected.lock().unwrap().push((
-                            i,
-                            result.candidates,
-                            result.stats,
-                            result.budget_note,
-                        ));
+                        collected.lock().unwrap().push(RootRun {
+                            index: i,
+                            candidates: result.candidates,
+                            stats: result.stats,
+                            note: result.budget_note,
+                        });
                     }
                     if tel_on {
                         flush_alias_ops(&mut sink, &alias_ops);
@@ -382,13 +453,9 @@ impl Pata {
         // Merge in root order regardless of which worker ran what — the
         // candidate stream (and so the final report set) is identical to a
         // single-threaded run.
-        per_root.sort_by_key(|(i, ..)| *i);
-        let mut all = Vec::new();
-        let mut notes = Vec::new();
-        for (_, candidates, s, note) in per_root {
-            *stats += &s;
-            all.extend(candidates);
-            notes.extend(note);
+        per_root.sort_by_key(|run| run.index);
+        for run in &per_root {
+            *stats += &run.stats;
         }
         let stolen = steals.into_inner();
         stats.work_steals += stolen;
@@ -398,7 +465,7 @@ impl Pata {
                 sink.add("driver.work_steals", stolen);
             });
         }
-        (all, notes)
+        per_root
     }
 
     /// Records the exploration-volume counters derived from the merged
@@ -464,7 +531,7 @@ mod tests {
 
     fn analyze(src: &str) -> AnalysisOutcome {
         let module = pata_cc::compile_one("t.c", src).unwrap();
-        Pata::new(AnalysisConfig {
+        Pata::create(AnalysisConfig {
             threads: 1,
             ..AnalysisConfig::default()
         })
@@ -477,7 +544,7 @@ mod tests {
             threads: 1,
             ..AnalysisConfig::all_checkers()
         };
-        Pata::new(cfg).analyze(module)
+        Pata::create(cfg).analyze(module)
     }
 
     fn kinds(outcome: &AnalysisOutcome) -> Vec<BugKind> {
@@ -889,7 +956,7 @@ mod tests {
             }
         "#;
         let module = pata_cc::compile_one("t.c", src).unwrap();
-        let na = Pata::new(AnalysisConfig {
+        let na = Pata::create(AnalysisConfig {
             threads: 1,
             ..AnalysisConfig::without_alias()
         })
@@ -922,7 +989,7 @@ mod tests {
             }
         "#;
         let module = pata_cc::compile_one("t.c", src).unwrap();
-        let out = Pata::new(AnalysisConfig {
+        let out = Pata::create(AnalysisConfig {
             threads: 1,
             ..AnalysisConfig::default()
         })
@@ -1052,7 +1119,7 @@ mod tests {
         // and thus it cannot find bugs whose bug-trigger paths pass through
         // indirect function calls" (§7).
         let module = pata_cc::compile_one("t.c", CALLBACK_SRC).unwrap();
-        let out = Pata::new(AnalysisConfig {
+        let out = Pata::create(AnalysisConfig {
             threads: 1,
             ..AnalysisConfig::default()
         })
@@ -1069,7 +1136,7 @@ mod tests {
     #[test]
     fn indirect_call_resolved_with_extension() {
         let module = pata_cc::compile_one("t.c", CALLBACK_SRC).unwrap();
-        let out = Pata::new(AnalysisConfig {
+        let out = Pata::create(AnalysisConfig {
             threads: 1,
             resolve_fptrs: true,
             ..AnalysisConfig::default()
@@ -1099,7 +1166,7 @@ mod tests {
             }
         "#;
         let module = pata_cc::compile_one("t.c", src).unwrap();
-        let out = Pata::new(AnalysisConfig {
+        let out = Pata::create(AnalysisConfig {
             threads: 1,
             resolve_fptrs: true,
             ..AnalysisConfig::default()
@@ -1135,7 +1202,7 @@ mod tests {
         "#;
         let one = {
             let module = pata_cc::compile_one("t.c", src).unwrap();
-            Pata::new(AnalysisConfig {
+            Pata::create(AnalysisConfig {
                 threads: 1,
                 ..AnalysisConfig::default()
             })
@@ -1155,7 +1222,7 @@ mod tests {
                 ..AnalysisConfig::default()
             };
             cfg.budget.loop_iterations = 2;
-            Pata::new(cfg).analyze(module)
+            Pata::create(cfg).analyze(module)
         };
         assert!(
             two.reports
@@ -1203,13 +1270,13 @@ mod tests {
             lines.sort();
             lines
         };
-        let seq = Pata::new(AnalysisConfig {
+        let seq = Pata::create(AnalysisConfig {
             threads: 1,
             ..AnalysisConfig::default()
         })
         .analyze(pata_cc::compile_one("t.c", src).unwrap());
         for threads in [0, 2, 3] {
-            let par = Pata::new(AnalysisConfig {
+            let par = Pata::create(AnalysisConfig {
                 threads,
                 ..AnalysisConfig::default()
             })
@@ -1222,7 +1289,7 @@ mod tests {
 
     #[test]
     fn validation_cache_persists_across_runs() {
-        let pata = Pata::new(AnalysisConfig {
+        let pata = Pata::create(AnalysisConfig {
             threads: 1,
             ..AnalysisConfig::default()
         });
@@ -1249,12 +1316,12 @@ mod tests {
         "#;
         let m1 = pata_cc::compile_one("t.c", src).unwrap();
         let m2 = pata_cc::compile_one("t.c", src).unwrap();
-        let seq = Pata::new(AnalysisConfig {
+        let seq = Pata::create(AnalysisConfig {
             threads: 1,
             ..AnalysisConfig::default()
         })
         .analyze(m1);
-        let par = Pata::new(AnalysisConfig {
+        let par = Pata::create(AnalysisConfig {
             threads: 4,
             ..AnalysisConfig::default()
         })

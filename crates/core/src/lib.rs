@@ -26,12 +26,20 @@
 //! graphs and typestates; the bug filter ([`filter`]) deduplicates repeated
 //! bugs and validates path feasibility.
 //!
+//! Everything is reachable through one entry point: build an
+//! [`AnalysisConfig`], open an [`AnalysisSession`] (optionally backed by an
+//! on-disk store for warm restarts, see [`persist`]), and submit
+//! [`AnalysisRequest`]s. The [`serve`] module wraps a session in a
+//! newline-delimited JSON protocol (`pata serve`) so concurrent clients
+//! share one warm cache.
+//!
 //! # Quick start
 //!
 //! ```
-//! use pata_core::{AnalysisConfig, Pata};
+//! use pata_core::{AnalysisConfig, AnalysisRequest, AnalysisSession};
 //!
-//! let module = pata_cc::compile_one(
+//! let mut session = AnalysisSession::new(AnalysisConfig::default());
+//! let request = AnalysisRequest::new().file(
 //!     "demo.c",
 //!     r#"
 //!     struct dev { int *res; };
@@ -41,10 +49,16 @@
 //!     }
 //!     static struct drv demo_driver = { .probe = demo_probe };
 //!     "#,
-//! ).unwrap();
+//! );
 //!
-//! let outcome = Pata::new(AnalysisConfig::default()).analyze(module);
-//! assert!(outcome.reports.iter().any(|r| r.kind.as_str() == "null-pointer-dereference"));
+//! let outcome = session.analyze(&request).unwrap();
+//! assert!(outcome.report.reports.iter().any(|r| r.kind.as_str() == "null-pointer-dereference"));
+//!
+//! // Submitting the same sources again replays every root from the
+//! // session's warm cache — no re-exploration, identical report.
+//! let warm = session.analyze(&request).unwrap();
+//! assert_eq!(warm.incremental.dirty_roots, 0);
+//! assert_eq!(warm.report.to_json(), outcome.report.to_json());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -59,8 +73,11 @@ pub mod filter;
 pub(crate) mod fingerprint;
 pub mod json;
 pub mod path;
+pub mod persist;
 pub mod registry;
 pub mod report;
+pub mod serve;
+pub mod session;
 pub mod stats;
 pub mod telemetry;
 pub mod typestate;
@@ -69,8 +86,15 @@ pub mod validate;
 pub use checkers::BugKind;
 pub use config::{AliasMode, AnalysisConfig, AnalysisConfigBuilder, ConfigError, PathBudget};
 pub use driver::{AnalysisOutcome, Pata};
+pub use persist::STORE_SCHEMA_VERSION;
 pub use registry::{BuiltinChecker, CheckerFactory, CheckerRegistry, RegistryError};
 pub use report::{BugReport, PossibleBug, Report, ReportError, REPORT_SCHEMA_VERSION};
+#[cfg(unix)]
+pub use serve::{client_request, serve_unix};
+pub use serve::{handle_line, serve_loop, ServeTotals, SERVE_PROTOCOL_VERSION};
+pub use session::{
+    AnalysisRequest, AnalysisSession, IncrementalStats, SessionError, SessionOutcome, SourceFile,
+};
 pub use stats::{AnalysisStats, BudgetNote};
 pub use telemetry::{Telemetry, TelemetrySink, TelemetrySnapshot};
 pub use validate::{PathValidator, ValidationCache};

@@ -1,0 +1,1025 @@
+//! The on-disk analysis store behind [`crate::AnalysisSession`].
+//!
+//! A store file is one versioned JSON document (written through the same
+//! in-crate [`crate::json`] machinery as the report schema) holding
+//! everything a later process needs to skip re-exploring unchanged roots:
+//!
+//! * a **header** — [`STORE_SCHEMA_VERSION`], a fingerprint of the
+//!   verdict-relevant configuration, and a corpus fingerprint over every
+//!   function's printed IR;
+//! * the **function database** (paper §4 P1: "records function information
+//!   in a database") — one `(name, fingerprint)` pair per function, the
+//!   input to change detection;
+//! * **per-root results** — the stage-1 candidates, exploration counters
+//!   and budget note of each analysis root, keyed by the root's *closure
+//!   fingerprint* (a hash over every function transitively reachable from
+//!   it). A root whose closure fingerprint is unchanged is *clean*: its
+//!   exploration is deterministic, so the cached candidates are exactly
+//!   what re-exploring would produce;
+//! * the **validation cache** — stage-2 conjunction verdicts under their
+//!   canonical keys (α-equivalent constraint systems share one entry).
+//!
+//! Loading is infallible by design: a missing file, malformed JSON, a
+//! schema-version bump, a configuration change, or a candidate that no
+//! longer resolves against the new module all degrade to a cold start
+//! (`None`), never an error. Saving goes through a temp file + rename so a
+//! crashed writer leaves either the old store or the new one, not a
+//! truncated hybrid (which the infallible loader would shrug off anyway).
+//!
+//! Function fingerprints hash the function's printed IR
+//! ([`pata_ir::function_text`]), which includes module-global variable
+//! numbers and source line numbers. That makes them *conservative*: an
+//! edit early in a file can shift the printed form of later functions and
+//! over-invalidate — but never under-invalidate, which is the soundness
+//! direction that matters.
+
+use crate::checkers::BugKind;
+use crate::collector::CallGraph;
+use crate::config::{AliasMode, AnalysisConfig};
+use crate::json::{quote, JsonValue};
+use crate::report::PossibleBug;
+use crate::stats::{AnalysisStats, BudgetNote};
+use pata_ir::{function_text, BlockId, FileId, FuncId, InstId, Loc, Module};
+use pata_smt::{CmpOp, Constraint, OpaqueOp, SatResult, Term};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// Version of the on-disk store schema. Bump on any change to the layout
+/// or meaning of the document; [`Store::parse`] treats a mismatch as a
+/// cold start, so old stores are silently discarded, never misread.
+pub const STORE_SCHEMA_VERSION: u64 = 1;
+
+// --------------------------------------------------------------------
+// Fingerprints
+// --------------------------------------------------------------------
+
+/// FNV-1a over a byte string. Stable across processes and platforms
+/// (unlike `std`'s `DefaultHasher`, which documents no such guarantee) —
+/// a hard requirement for fingerprints that outlive the process.
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The per-function change-detection fingerprint: FNV-1a over the
+/// function's printed IR.
+pub(crate) fn function_fingerprint(module: &Module, func: FuncId) -> u64 {
+    fnv64(function_text(module, module.function(func)).as_bytes())
+}
+
+/// Fingerprint of the verdict-relevant configuration. Two configurations
+/// with equal fingerprints produce byte-identical reports on the same
+/// input, so cached results can be shared between them. Deliberately
+/// excluded: `threads`, `telemetry`, and the verdict-neutral cache/fork
+/// switches (`validation_cache`, `exploration_cache`, `callee_memo`,
+/// `fork_depth`) — the load-bearing determinism invariant says they never
+/// change a verdict.
+pub(crate) fn config_fingerprint(config: &AnalysisConfig) -> u64 {
+    let mut text = String::new();
+    for kind in &config.checkers {
+        text.push_str(kind.as_str());
+        text.push(',');
+    }
+    text.push_str(match config.alias_mode {
+        AliasMode::PathBased => ";alias=path",
+        AliasMode::None => ";alias=none",
+    });
+    let b = &config.budget;
+    text.push_str(&format!(
+        ";paths={};insts={};depth={};len={};loops={};validate={};fptrs={}",
+        b.max_paths,
+        b.max_insts,
+        b.max_call_depth,
+        b.max_path_len,
+        b.loop_iterations,
+        config.validate_paths,
+        config.resolve_fptrs,
+    ));
+    fnv64(text.as_bytes())
+}
+
+/// The function database: every function's name mapped to its
+/// fingerprint, sorted by name so serialization (and the corpus
+/// fingerprint) is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct FunctionDb {
+    pub(crate) entries: BTreeMap<String, u64>,
+}
+
+impl FunctionDb {
+    /// Builds the database for `module`. Returns `None` when two functions
+    /// share a name — names are the cross-process identity of functions,
+    /// so an ambiguous module cannot be persisted (the session then runs
+    /// every root cold, which is always safe).
+    #[cfg(test)]
+    pub(crate) fn build(module: &Module) -> Option<FunctionDb> {
+        Self::build_with_reuse(module, None, 0)
+    }
+
+    /// Builds the database for `module` with source-prefix reuse:
+    /// functions defined in the first `unchanged_files` source files of
+    /// the module reuse their fingerprint from `prev` instead of
+    /// re-printing their IR. Returns `None` when two functions share a
+    /// name — names are the cross-process identity of functions, so an
+    /// ambiguous module cannot be persisted (the session then runs every
+    /// root cold, which is always safe).
+    ///
+    /// This is sound because the printed IR of a function depends only on
+    /// its own source file and the files lowered before it (module-global
+    /// variable numbering): when every file up to index `unchanged_files`
+    /// is byte-identical to the previous request, the IR of the functions
+    /// in those files is too. The caller establishes that prefix by
+    /// comparing per-file source hashes.
+    pub(crate) fn build_with_reuse(
+        module: &Module,
+        prev: Option<&FunctionDb>,
+        unchanged_files: usize,
+    ) -> Option<FunctionDb> {
+        let mut entries = BTreeMap::new();
+        for f in module.functions() {
+            let fp = prev
+                .filter(|_| f.file().index() < unchanged_files)
+                .and_then(|db| db.entries.get(f.name()).copied())
+                .unwrap_or_else(|| function_fingerprint(module, f.id()));
+            if entries.insert(f.name().to_owned(), fp).is_some() {
+                return None;
+            }
+        }
+        Some(FunctionDb { entries })
+    }
+
+    /// Hash of the whole corpus — the store-header fingerprint.
+    pub(crate) fn corpus_fingerprint(&self) -> u64 {
+        let mut text = String::new();
+        for (name, fp) in &self.entries {
+            text.push_str(name);
+            text.push_str(&format!("={fp:016x};"));
+        }
+        fnv64(text.as_bytes())
+    }
+
+    /// How many functions changed (different fingerprint) or appeared
+    /// relative to `old`.
+    pub(crate) fn changed_since(&self, old: &FunctionDb) -> u64 {
+        self.entries
+            .iter()
+            .filter(|(name, fp)| old.entries.get(*name) != Some(fp))
+            .count() as u64
+    }
+}
+
+/// The closure fingerprint of `root`: a hash over the `(name,
+/// fingerprint)` pairs of every function transitively reachable from it
+/// through direct calls, in name order. With `resolve_fptrs` the explorer
+/// can enter *any* function whose address flows along a path, so the
+/// closure conservatively widens to the whole module.
+pub(crate) fn root_closure_fp(
+    module: &Module,
+    graph: &CallGraph,
+    root: FuncId,
+    resolve_fptrs: bool,
+    db: &FunctionDb,
+) -> u64 {
+    let n = module.functions().len();
+    let mut reachable = vec![false; n];
+    if resolve_fptrs {
+        reachable = vec![true; n];
+    } else {
+        let mut stack = vec![root];
+        reachable[root.index()] = true;
+        while let Some(f) = stack.pop() {
+            for &callee in &graph.callees[f.index()] {
+                if !reachable[callee.index()] {
+                    reachable[callee.index()] = true;
+                    stack.push(callee);
+                }
+            }
+        }
+    }
+    let mut names: Vec<&str> = module
+        .functions()
+        .iter()
+        .filter(|f| reachable[f.id().index()])
+        .map(|f| f.name())
+        .collect();
+    names.sort_unstable();
+    let mut text = String::new();
+    for name in names {
+        let fp = db.entries.get(name).copied().unwrap_or(0);
+        text.push_str(name);
+        text.push_str(&format!("={fp:016x};"));
+    }
+    fnv64(text.as_bytes())
+}
+
+// --------------------------------------------------------------------
+// Stored candidates
+// --------------------------------------------------------------------
+
+/// One source location in module-independent form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct StoredLoc {
+    pub(crate) file: String,
+    pub(crate) line: u32,
+}
+
+/// One instruction identity in module-independent form: function *name*
+/// plus block/instruction indices. Indices are stable for an unchanged
+/// function (the fingerprint covers the printed block structure), and a
+/// failed bounds check at resolution time just marks the root dirty.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct StoredInst {
+    pub(crate) func: String,
+    pub(crate) block: usize,
+    pub(crate) inst: usize,
+}
+
+/// A [`PossibleBug`] detached from module-specific ids, so it can be
+/// replayed into a freshly compiled module. SMT symbol ids are kept
+/// verbatim: exploration is deterministic, so an unchanged root assigns
+/// the same `SymId`s it assigned when the bug was recorded.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct StoredBug {
+    pub(crate) kind: BugKind,
+    pub(crate) origin: StoredInst,
+    pub(crate) origin_loc: StoredLoc,
+    pub(crate) site: StoredInst,
+    pub(crate) site_loc: StoredLoc,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) extra: Vec<Constraint>,
+    pub(crate) alias_paths: Vec<String>,
+}
+
+impl StoredBug {
+    pub(crate) fn from_possible(bug: &PossibleBug, module: &Module) -> StoredBug {
+        let inst = |id: InstId| StoredInst {
+            func: module.function(id.func).name().to_owned(),
+            block: id.block.index(),
+            inst: id.inst,
+        };
+        let loc = |l: Loc| StoredLoc {
+            file: module.file(l.file).name.clone(),
+            line: l.line,
+        };
+        StoredBug {
+            kind: bug.kind,
+            origin: inst(bug.origin_id),
+            origin_loc: loc(bug.origin_loc),
+            site: inst(bug.site_id),
+            site_loc: loc(bug.site_loc),
+            constraints: bug.constraints.clone(),
+            extra: bug.extra.clone(),
+            alias_paths: bug.alias_paths.clone(),
+        }
+    }
+
+    /// Re-binds the bug to `module`. `None` when a function or file named
+    /// in the record no longer exists or an index is out of range — the
+    /// caller then treats the whole root as dirty.
+    pub(crate) fn resolve(&self, module: &Module, root: FuncId) -> Option<PossibleBug> {
+        let inst = |s: &StoredInst| -> Option<InstId> {
+            let func = module.function_by_name(&s.func)?;
+            let blocks = module.function(func).blocks();
+            let block = blocks.get(s.block)?;
+            // `inst == len` denotes the terminator.
+            if s.inst > block.insts.len() {
+                return None;
+            }
+            Some(InstId {
+                func,
+                block: BlockId::from_index(s.block),
+                inst: s.inst,
+            })
+        };
+        let loc = |s: &StoredLoc| -> Option<Loc> {
+            let idx = module.files().iter().position(|f| f.name == s.file)?;
+            Some(Loc::new(FileId::from_index(idx), s.line))
+        };
+        Some(PossibleBug {
+            kind: self.kind,
+            origin_loc: loc(&self.origin_loc)?,
+            origin_id: inst(&self.origin)?,
+            site_loc: loc(&self.site_loc)?,
+            site_id: inst(&self.site)?,
+            constraints: self.constraints.clone(),
+            extra: self.extra.clone(),
+            alias_paths: self.alias_paths.clone(),
+            root,
+        })
+    }
+}
+
+/// One root's persisted exploration result.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct StoredRoot {
+    /// Root function name.
+    pub(crate) root: String,
+    /// Closure fingerprint at the time the result was recorded.
+    pub(crate) closure_fp: u64,
+    /// Stage-1 candidates, in exploration order.
+    pub(crate) candidates: Vec<StoredBug>,
+    /// The root's exploration counters (`time` is not persisted — replayed
+    /// roots contribute zero wall-clock, which is the point).
+    pub(crate) stats: AnalysisStats,
+    /// Budget-exhaustion note, if the root was truncated.
+    pub(crate) note: Option<BudgetNote>,
+}
+
+// --------------------------------------------------------------------
+// The store document
+// --------------------------------------------------------------------
+
+/// An in-memory image of the on-disk store.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Store {
+    /// Fingerprint of the verdict-relevant configuration.
+    pub(crate) config_fp: u64,
+    /// Corpus fingerprint (hash of the function database).
+    pub(crate) corpus_fp: u64,
+    /// The function database: `(name, fingerprint)`, sorted by name.
+    pub(crate) functions: FunctionDb,
+    /// Per-source-file `(name, content hash)` in request order — the
+    /// basis for fingerprint prefix reuse (see
+    /// [`FunctionDb::build_with_reuse`]).
+    pub(crate) files: Vec<(String, u64)>,
+    /// Per-root cached results, in the recorded root order.
+    pub(crate) roots: Vec<StoredRoot>,
+    /// Stage-2 verdicts under canonical keys, sorted by key.
+    pub(crate) validation: Vec<(Vec<u8>, SatResult)>,
+}
+
+impl Store {
+    /// Serializes the store to its versioned JSON document.
+    pub(crate) fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"schema_version\": ");
+        out.push_str(&STORE_SCHEMA_VERSION.to_string());
+        out.push_str(&format!(
+            ", \"config_fingerprint\": \"{:016x}\"",
+            self.config_fp
+        ));
+        out.push_str(&format!(
+            ", \"corpus_fingerprint\": \"{:016x}\"",
+            self.corpus_fp
+        ));
+        out.push_str(", \"functions\": [");
+        for (i, (name, fp)) in self.functions.entries.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"name\": {}, \"fp\": \"{fp:016x}\"}}",
+                quote(name)
+            ));
+        }
+        out.push_str("], \"files\": [");
+        for (i, (name, hash)) in self.files.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"name\": {}, \"hash\": \"{hash:016x}\"}}",
+                quote(name)
+            ));
+        }
+        out.push_str("], \"roots\": [");
+        for (i, r) in self.roots.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_root(&mut out, r);
+        }
+        out.push_str("], \"validation\": [");
+        for (i, (key, verdict)) in self.validation.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("{\"key\": \"");
+            for b in key {
+                out.push_str(&format!("{b:02x}"));
+            }
+            out.push_str("\", \"verdict\": \"");
+            out.push_str(match verdict {
+                SatResult::Sat => "sat",
+                SatResult::Unsat => "unsat",
+                SatResult::Unknown => "unknown",
+            });
+            out.push_str("\"}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a store document written with the *current* schema version
+    /// and `expect_config_fp`. Any deviation — malformed JSON, version or
+    /// fingerprint mismatch, missing or mistyped field — yields `None`:
+    /// the caller starts cold.
+    pub(crate) fn parse(text: &str, expect_config_fp: u64) -> Option<Store> {
+        let doc = JsonValue::parse(text).ok()?;
+        if doc.get("schema_version")?.as_u64()? != STORE_SCHEMA_VERSION {
+            return None;
+        }
+        let config_fp = parse_hex64(doc.get("config_fingerprint")?.as_str()?)?;
+        if config_fp != expect_config_fp {
+            return None;
+        }
+        let corpus_fp = parse_hex64(doc.get("corpus_fingerprint")?.as_str()?)?;
+        let mut functions = FunctionDb::default();
+        for item in doc.get("functions")?.as_array()? {
+            let name = item.get("name")?.as_str()?.to_owned();
+            let fp = parse_hex64(item.get("fp")?.as_str()?)?;
+            functions.entries.insert(name, fp);
+        }
+        let mut files = Vec::new();
+        for item in doc.get("files")?.as_array()? {
+            let name = item.get("name")?.as_str()?.to_owned();
+            let hash = parse_hex64(item.get("hash")?.as_str()?)?;
+            files.push((name, hash));
+        }
+        let mut roots = Vec::new();
+        for item in doc.get("roots")?.as_array()? {
+            roots.push(parse_root(item)?);
+        }
+        let mut validation = Vec::new();
+        for item in doc.get("validation")?.as_array()? {
+            let key = parse_hex_bytes(item.get("key")?.as_str()?)?;
+            let verdict = match item.get("verdict")?.as_str()? {
+                "sat" => SatResult::Sat,
+                "unsat" => SatResult::Unsat,
+                "unknown" => SatResult::Unknown,
+                _ => return None,
+            };
+            validation.push((key, verdict));
+        }
+        Some(Store {
+            config_fp,
+            corpus_fp,
+            functions,
+            files,
+            roots,
+            validation,
+        })
+    }
+
+    /// Loads a store from disk. Infallible: any I/O or parse problem is a
+    /// cold start.
+    pub(crate) fn load(path: &Path, expect_config_fp: u64) -> Option<Store> {
+        let text = std::fs::read_to_string(path).ok()?;
+        Store::parse(&text, expect_config_fp)
+    }
+
+    /// Writes the store atomically (temp file in the same directory, then
+    /// rename), so a crash mid-write never leaves a truncated store.
+    pub(crate) fn save(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+// --------------------------------------------------------------------
+// JSON helpers (roots, bugs, constraints, stats)
+// --------------------------------------------------------------------
+
+fn parse_hex64(s: &str) -> Option<u64> {
+    u64::from_str_radix(s, 16).ok()
+}
+
+fn parse_hex_bytes(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    (0..s.len() / 2)
+        .map(|i| u8::from_str_radix(s.get(2 * i..2 * i + 2)?, 16).ok())
+        .collect()
+}
+
+fn write_root(out: &mut String, r: &StoredRoot) {
+    out.push_str("{\"root\": ");
+    out.push_str(&quote(&r.root));
+    out.push_str(&format!(", \"closure_fp\": \"{:016x}\"", r.closure_fp));
+    out.push_str(", \"candidates\": [");
+    for (i, b) in r.candidates.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_bug(out, b);
+    }
+    out.push_str("], \"stats\": ");
+    write_stats(out, &r.stats);
+    match &r.note {
+        Some(n) => {
+            out.push_str(&format!(
+                ", \"note\": {{\"root\": {}, \"reason\": {}, \"caches_disabled\": {}}}",
+                quote(&n.root),
+                quote(&n.reason),
+                n.caches_disabled
+            ));
+        }
+        None => out.push_str(", \"note\": null"),
+    }
+    out.push('}');
+}
+
+fn parse_root(v: &JsonValue) -> Option<StoredRoot> {
+    let mut candidates = Vec::new();
+    for item in v.get("candidates")?.as_array()? {
+        candidates.push(parse_bug(item)?);
+    }
+    let note = match v.get("note")? {
+        JsonValue::Null => None,
+        n => Some(BudgetNote {
+            root: n.get("root")?.as_str()?.to_owned(),
+            reason: n.get("reason")?.as_str()?.to_owned(),
+            caches_disabled: n.get("caches_disabled")?.as_bool()?,
+        }),
+    };
+    Some(StoredRoot {
+        root: v.get("root")?.as_str()?.to_owned(),
+        closure_fp: parse_hex64(v.get("closure_fp")?.as_str()?)?,
+        candidates,
+        stats: parse_stats(v.get("stats")?)?,
+        note,
+    })
+}
+
+/// The per-root exploration counters worth persisting: everything the
+/// explorer itself accumulates. Filter-stage counters (candidates,
+/// reported, validation hits) are recomputed live on every run.
+const STAT_FIELDS: [&str; 11] = [
+    "roots",
+    "paths_explored",
+    "insts_processed",
+    "typestates_aware",
+    "typestates_unaware",
+    "constraints_aware",
+    "constraints_unaware",
+    "budget_exhausted_roots",
+    "exploration_cache_hits",
+    "callee_memo_hits",
+    "insts_replayed",
+];
+
+fn stat_field(s: &AnalysisStats, name: &str) -> u64 {
+    match name {
+        "roots" => s.roots,
+        "paths_explored" => s.paths_explored,
+        "insts_processed" => s.insts_processed,
+        "typestates_aware" => s.typestates_aware,
+        "typestates_unaware" => s.typestates_unaware,
+        "constraints_aware" => s.constraints_aware,
+        "constraints_unaware" => s.constraints_unaware,
+        "budget_exhausted_roots" => s.budget_exhausted_roots,
+        "exploration_cache_hits" => s.exploration_cache_hits,
+        "callee_memo_hits" => s.callee_memo_hits,
+        "insts_replayed" => s.insts_replayed,
+        _ => unreachable!("unknown stat field"),
+    }
+}
+
+fn stat_field_mut<'a>(s: &'a mut AnalysisStats, name: &str) -> &'a mut u64 {
+    match name {
+        "roots" => &mut s.roots,
+        "paths_explored" => &mut s.paths_explored,
+        "insts_processed" => &mut s.insts_processed,
+        "typestates_aware" => &mut s.typestates_aware,
+        "typestates_unaware" => &mut s.typestates_unaware,
+        "constraints_aware" => &mut s.constraints_aware,
+        "constraints_unaware" => &mut s.constraints_unaware,
+        "budget_exhausted_roots" => &mut s.budget_exhausted_roots,
+        "exploration_cache_hits" => &mut s.exploration_cache_hits,
+        "callee_memo_hits" => &mut s.callee_memo_hits,
+        "insts_replayed" => &mut s.insts_replayed,
+        _ => unreachable!("unknown stat field"),
+    }
+}
+
+fn write_stats(out: &mut String, s: &AnalysisStats) {
+    out.push('{');
+    for (i, name) in STAT_FIELDS.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{name}\": {}", stat_field(s, name)));
+    }
+    out.push('}');
+}
+
+fn parse_stats(v: &JsonValue) -> Option<AnalysisStats> {
+    let mut s = AnalysisStats::default();
+    for name in STAT_FIELDS {
+        *stat_field_mut(&mut s, name) = v.get(name)?.as_u64()?;
+    }
+    Some(s)
+}
+
+fn write_bug(out: &mut String, b: &StoredBug) {
+    let inst = |s: &StoredInst| {
+        format!(
+            "{{\"func\": {}, \"block\": {}, \"inst\": {}}}",
+            quote(&s.func),
+            s.block,
+            s.inst
+        )
+    };
+    let loc = |l: &StoredLoc| format!("{{\"file\": {}, \"line\": {}}}", quote(&l.file), l.line);
+    out.push_str("{\"kind\": ");
+    out.push_str(&quote(b.kind.as_str()));
+    out.push_str(", \"origin\": ");
+    out.push_str(&inst(&b.origin));
+    out.push_str(", \"origin_loc\": ");
+    out.push_str(&loc(&b.origin_loc));
+    out.push_str(", \"site\": ");
+    out.push_str(&inst(&b.site));
+    out.push_str(", \"site_loc\": ");
+    out.push_str(&loc(&b.site_loc));
+    out.push_str(", \"constraints\": [");
+    for (i, c) in b.constraints.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_constraint(out, c);
+    }
+    out.push_str("], \"extra\": [");
+    for (i, c) in b.extra.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_constraint(out, c);
+    }
+    out.push_str("], \"alias_paths\": [");
+    for (i, p) in b.alias_paths.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&quote(p));
+    }
+    out.push_str("]}");
+}
+
+fn parse_bug(v: &JsonValue) -> Option<StoredBug> {
+    let inst = |v: &JsonValue| -> Option<StoredInst> {
+        Some(StoredInst {
+            func: v.get("func")?.as_str()?.to_owned(),
+            block: usize::try_from(v.get("block")?.as_u64()?).ok()?,
+            inst: usize::try_from(v.get("inst")?.as_u64()?).ok()?,
+        })
+    };
+    let loc = |v: &JsonValue| -> Option<StoredLoc> {
+        Some(StoredLoc {
+            file: v.get("file")?.as_str()?.to_owned(),
+            line: u32::try_from(v.get("line")?.as_u64()?).ok()?,
+        })
+    };
+    let constraints = |name: &str| -> Option<Vec<Constraint>> {
+        v.get(name)?
+            .as_array()?
+            .iter()
+            .map(parse_constraint)
+            .collect()
+    };
+    let alias_paths = v
+        .get("alias_paths")?
+        .as_array()?
+        .iter()
+        .map(|p| p.as_str().map(str::to_owned))
+        .collect::<Option<Vec<_>>>()?;
+    Some(StoredBug {
+        kind: BugKind::parse(v.get("kind")?.as_str()?)?,
+        origin: inst(v.get("origin")?)?,
+        origin_loc: loc(v.get("origin_loc")?)?,
+        site: inst(v.get("site")?)?,
+        site_loc: loc(v.get("site_loc")?)?,
+        constraints: constraints("constraints")?,
+        extra: constraints("extra")?,
+        alias_paths,
+    })
+}
+
+// --------------------------------------------------------------------
+// Constraint / term serialization
+// --------------------------------------------------------------------
+
+fn cmp_op_str(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "==",
+        CmpOp::Ne => "!=",
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+    }
+}
+
+fn parse_cmp_op(s: &str) -> Option<CmpOp> {
+    Some(match s {
+        "==" => CmpOp::Eq,
+        "!=" => CmpOp::Ne,
+        "<" => CmpOp::Lt,
+        "<=" => CmpOp::Le,
+        ">" => CmpOp::Gt,
+        ">=" => CmpOp::Ge,
+        _ => return None,
+    })
+}
+
+fn opaque_op_str(op: OpaqueOp) -> &'static str {
+    match op {
+        OpaqueOp::Mul => "mul",
+        OpaqueOp::Div => "div",
+        OpaqueOp::Rem => "rem",
+        OpaqueOp::And => "and",
+        OpaqueOp::Or => "or",
+        OpaqueOp::Xor => "xor",
+        OpaqueOp::Shl => "shl",
+        OpaqueOp::Shr => "shr",
+    }
+}
+
+fn parse_opaque_op(s: &str) -> Option<OpaqueOp> {
+    Some(match s {
+        "mul" => OpaqueOp::Mul,
+        "div" => OpaqueOp::Div,
+        "rem" => OpaqueOp::Rem,
+        "and" => OpaqueOp::And,
+        "or" => OpaqueOp::Or,
+        "xor" => OpaqueOp::Xor,
+        "shl" => OpaqueOp::Shl,
+        "shr" => OpaqueOp::Shr,
+        _ => return None,
+    })
+}
+
+fn write_constraint(out: &mut String, c: &Constraint) {
+    out.push_str(&format!("{{\"op\": \"{}\", \"l\": ", cmp_op_str(c.op)));
+    write_term(out, &c.lhs);
+    out.push_str(", \"r\": ");
+    write_term(out, &c.rhs);
+    out.push('}');
+}
+
+fn parse_constraint(v: &JsonValue) -> Option<Constraint> {
+    Some(Constraint::new(
+        parse_cmp_op(v.get("op")?.as_str()?)?,
+        parse_term(v.get("l")?)?,
+        parse_term(v.get("r")?)?,
+    ))
+}
+
+fn write_term(out: &mut String, t: &Term) {
+    match t {
+        Term::Const(v) => out.push_str(&format!("{{\"c\": {v}}}")),
+        Term::Sym(s) => out.push_str(&format!("{{\"s\": {}}}", s.0)),
+        Term::Add(a, b) => write_binary(out, "+", a, b),
+        Term::Sub(a, b) => write_binary(out, "-", a, b),
+        Term::Mul(a, b) => write_binary(out, "*", a, b),
+        Term::Opaque(op, a, b) => write_binary(out, opaque_op_str(*op), a, b),
+        Term::Neg(a) => {
+            out.push_str("{\"o\": \"neg\", \"a\": ");
+            write_term(out, a);
+            out.push('}');
+        }
+    }
+}
+
+fn write_binary(out: &mut String, op: &str, a: &Term, b: &Term) {
+    out.push_str(&format!("{{\"o\": \"{op}\", \"a\": "));
+    write_term(out, a);
+    out.push_str(", \"b\": ");
+    write_term(out, b);
+    out.push('}');
+}
+
+fn parse_term(v: &JsonValue) -> Option<Term> {
+    if let Some(c) = v.get("c") {
+        return Some(Term::Const(c.as_i64()?));
+    }
+    if let Some(s) = v.get("s") {
+        return Some(Term::Sym(pata_smt::SymId(u32::try_from(s.as_u64()?).ok()?)));
+    }
+    let op = v.get("o")?.as_str()?;
+    let a = parse_term(v.get("a")?)?;
+    if op == "neg" {
+        return Some(Term::Neg(Box::new(a)));
+    }
+    let b = parse_term(v.get("b")?)?;
+    Some(match op {
+        "+" => Term::Add(Box::new(a), Box::new(b)),
+        "-" => Term::Sub(Box::new(a), Box::new(b)),
+        "*" => Term::Mul(Box::new(a), Box::new(b)),
+        other => Term::Opaque(parse_opaque_op(other)?, Box::new(a), Box::new(b)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pata_smt::SymId;
+
+    fn sample_constraint() -> Constraint {
+        Constraint::new(
+            CmpOp::Le,
+            Term::sym(SymId(3)).add(Term::int(-2)).neg(),
+            Term::opaque(OpaqueOp::Shr, Term::sym(SymId(1)), Term::int(4))
+                .mul(Term::sym(SymId(0)).sub(Term::int(7))),
+        )
+    }
+
+    fn sample_store() -> Store {
+        let mut functions = FunctionDb::default();
+        functions.entries.insert("probe".into(), 0xdead_beef);
+        functions.entries.insert("helper".into(), 42);
+        let corpus_fp = functions.corpus_fingerprint();
+        Store {
+            config_fp: 7,
+            corpus_fp,
+            functions,
+            files: vec![("a.c".into(), 0xfeed_f00d), ("dir/b.c".into(), 3)],
+            roots: vec![StoredRoot {
+                root: "probe".into(),
+                closure_fp: 0x1234,
+                candidates: vec![StoredBug {
+                    kind: BugKind::NullPointerDeref,
+                    origin: StoredInst {
+                        func: "probe".into(),
+                        block: 0,
+                        inst: 2,
+                    },
+                    origin_loc: StoredLoc {
+                        file: "a.c".into(),
+                        line: 10,
+                    },
+                    site: StoredInst {
+                        func: "helper".into(),
+                        block: 1,
+                        inst: 0,
+                    },
+                    site_loc: StoredLoc {
+                        file: "a.c".into(),
+                        line: 14,
+                    },
+                    constraints: vec![sample_constraint()],
+                    extra: vec![],
+                    alias_paths: vec!["probe:p".into()],
+                }],
+                stats: AnalysisStats {
+                    roots: 1,
+                    paths_explored: 9,
+                    insts_processed: 100,
+                    ..AnalysisStats::default()
+                },
+                note: Some(BudgetNote {
+                    root: "probe".into(),
+                    reason: "max_paths".into(),
+                    caches_disabled: false,
+                }),
+            }],
+            validation: vec![
+                (vec![0u8, 255, 16], SatResult::Unsat),
+                (vec![1u8], SatResult::Sat),
+                (vec![2u8], SatResult::Unknown),
+            ],
+        }
+    }
+
+    #[test]
+    fn store_round_trips() {
+        let store = sample_store();
+        let back = Store::parse(&store.to_json(), store.config_fp).expect("parses");
+        assert_eq!(back.config_fp, store.config_fp);
+        assert_eq!(back.corpus_fp, store.corpus_fp);
+        assert_eq!(back.functions, store.functions);
+        assert_eq!(back.files, store.files);
+        assert_eq!(back.roots, store.roots);
+        assert_eq!(back.validation, store.validation);
+        // Byte-stable: serializing the parsed image reproduces the text.
+        assert_eq!(back.to_json(), store.to_json());
+    }
+
+    #[test]
+    fn wrong_config_fingerprint_is_cold_start() {
+        let store = sample_store();
+        assert!(Store::parse(&store.to_json(), store.config_fp + 1).is_none());
+    }
+
+    #[test]
+    fn wrong_schema_version_is_cold_start() {
+        let text = sample_store()
+            .to_json()
+            .replace("\"schema_version\": 1", "\"schema_version\": 999");
+        assert!(Store::parse(&text, 7).is_none());
+    }
+
+    #[test]
+    fn truncated_document_is_cold_start() {
+        let text = sample_store().to_json();
+        for cut in [1, text.len() / 2, text.len() - 1] {
+            assert!(
+                Store::parse(&text[..cut], 7).is_none(),
+                "cut at {cut} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned value: the fingerprint format is part of the store schema.
+        assert_eq!(fnv64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv64(b"a"), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn config_fingerprint_tracks_verdict_relevant_fields_only() {
+        let base = AnalysisConfig::default();
+        let base_fp = config_fingerprint(&base);
+        // Verdict-neutral switches share the fingerprint…
+        let mut neutral = base.clone();
+        neutral.threads = 7;
+        neutral.telemetry = true;
+        neutral.validation_cache = false;
+        neutral.exploration_cache = false;
+        neutral.callee_memo = false;
+        neutral.fork_depth = 0;
+        assert_eq!(config_fingerprint(&neutral), base_fp);
+        // …verdict-relevant knobs do not.
+        let mut relevant = base.clone();
+        relevant.budget.loop_iterations = 2;
+        assert_ne!(config_fingerprint(&relevant), base_fp);
+        let mut relevant = base.clone();
+        relevant.validate_paths = false;
+        assert_ne!(config_fingerprint(&relevant), base_fp);
+        let mut relevant = base;
+        relevant.checkers = vec![BugKind::MemoryLeak];
+        assert_ne!(config_fingerprint(&relevant), base_fp);
+    }
+
+    #[test]
+    fn closure_fp_only_reacts_to_reachable_changes() {
+        let src = r#"
+            int leaf(int x) { return x; }
+            int mid(int x) { return leaf(x); }
+            int top(void) { return mid(3); }
+            int lonely(void) { return 5; }
+        "#;
+        let m = pata_cc::compile_one("cf.c", src).unwrap();
+        let db = FunctionDb::build(&m).unwrap();
+        let cg = CallGraph::build(&m);
+        let top = m.function_by_name("top").unwrap();
+        let lonely = m.function_by_name("lonely").unwrap();
+        let top_fp = root_closure_fp(&m, &cg, top, false, &db);
+        let lonely_fp = root_closure_fp(&m, &cg, lonely, false, &db);
+
+        // Change `leaf` by pretending its fingerprint moved: top's closure
+        // reacts, lonely's does not.
+        let mut db2 = db.clone();
+        *db2.entries.get_mut("leaf").unwrap() ^= 1;
+        assert_ne!(root_closure_fp(&m, &cg, top, false, &db2), top_fp);
+        assert_eq!(root_closure_fp(&m, &cg, lonely, false, &db2), lonely_fp);
+
+        // With fptr resolution the closure is the whole module.
+        assert_ne!(
+            root_closure_fp(&m, &cg, lonely, true, &db2),
+            root_closure_fp(&m, &cg, lonely, true, &db)
+        );
+    }
+
+    #[test]
+    fn prefix_reuse_matches_fresh_fingerprints() {
+        let first = "int alpha(int x) { return x + 1; }\n";
+        let second = "int beta(int *p) { if (p == NULL) { } return *p; }\n";
+        let compile = |second_text: &str| {
+            let mut cc = pata_cc::Compiler::new();
+            cc.add_source("a.c", first);
+            cc.add_source("b.c", second_text);
+            cc.compile().unwrap()
+        };
+        let m1 = compile(second);
+        let fresh = FunctionDb::build(&m1).unwrap();
+
+        // Unchanged prefix of 2 (both files identical): reused fingerprints
+        // equal freshly computed ones even when `prev` holds poison values
+        // for functions outside the prefix.
+        let reused = FunctionDb::build_with_reuse(&m1, Some(&fresh), 2).unwrap();
+        assert_eq!(reused, fresh);
+
+        // Edit the second file: with prefix 1, alpha's fingerprint is
+        // reused verbatim and beta's is recomputed, matching a fresh build
+        // of the edited module.
+        let m2 = compile("int beta(int *p) { if (p == NULL) { return 0; } return *p; }\n");
+        let fresh2 = FunctionDb::build(&m2).unwrap();
+        let reused2 = FunctionDb::build_with_reuse(&m2, Some(&fresh), 1).unwrap();
+        assert_eq!(reused2, fresh2);
+        assert_eq!(reused2.entries["alpha"], fresh.entries["alpha"]);
+        assert_ne!(reused2.entries["beta"], fresh.entries["beta"]);
+    }
+}

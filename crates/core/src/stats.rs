@@ -6,7 +6,7 @@ use std::ops::AddAssign;
 use std::time::Duration;
 
 /// Counters accumulated across the whole analysis.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AnalysisStats {
     /// Source files in the analyzed module.
     pub files_analyzed: u64,

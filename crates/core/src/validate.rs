@@ -270,6 +270,28 @@ impl ValidationCache {
             s.lock().unwrap_or_else(|e| e.into_inner()).clear();
         }
     }
+
+    /// Snapshots every cached verdict, sorted by key — the deterministic
+    /// order the persistence layer serializes (identical caches produce
+    /// identical store bytes).
+    pub fn export(&self) -> Vec<(Vec<u8>, SatResult)> {
+        let mut entries: Vec<(Vec<u8>, SatResult)> = Vec::with_capacity(self.len());
+        for s in &self.shards {
+            let shard = s.lock().unwrap_or_else(|e| e.into_inner());
+            entries.extend(shard.iter().map(|(k, v)| (k.clone(), *v)));
+        }
+        entries.sort_by(|(a, _), (b, _)| a.cmp(b));
+        entries
+    }
+
+    /// Bulk-loads verdicts (from a persisted store). Existing entries for
+    /// the same key are overwritten; a cached verdict is always safe to
+    /// adopt because keys canonically identify the conjunction they answer.
+    pub fn import(&self, entries: Vec<(Vec<u8>, SatResult)>) {
+        for (key, verdict) in entries {
+            self.insert(key, verdict);
+        }
+    }
 }
 
 /// Counters for one validator's lifetime, merged into

@@ -3,7 +3,7 @@
 //! intra-root parallelism), and the interaction between the loop budget and
 //! the subsumption table.
 
-use pata_core::{AnalysisConfig, AnalysisOutcome, BugKind, Pata, Report};
+use pata_core::{AnalysisConfig, AnalysisOutcome, AnalysisSession, BugKind, Report};
 
 /// Driver-style code with reconvergent diamonds (subsumption fodder), a
 /// helper called with identical arguments from identical states (callee-memo
@@ -64,7 +64,7 @@ fn config(caches: bool, threads: usize, fork_depth: usize) -> AnalysisConfig {
 }
 
 fn run(caches: bool, threads: usize, fork_depth: usize) -> AnalysisOutcome {
-    Pata::new(config(caches, threads, fork_depth)).analyze(module())
+    AnalysisSession::new(config(caches, threads, fork_depth)).analyze_module(module())
 }
 
 fn report_json(o: &AnalysisOutcome) -> String {
@@ -160,7 +160,7 @@ fn all_checkers_stay_equivalent() {
             .callee_memo(caches)
             .build()
             .unwrap();
-        Pata::new(config).analyze(module())
+        AnalysisSession::new(config).analyze_module(module())
     };
     let off = mk(false);
     let on = mk(true);
@@ -200,7 +200,7 @@ fn loop_budget_interacts_soundly_with_subsumption() {
                 .callee_memo(caches)
                 .build()
                 .unwrap();
-            Pata::new(config).analyze(module.clone())
+            AnalysisSession::new(config).analyze_module(module.clone())
         };
         let off = mk(false);
         let on = mk(true);
@@ -227,7 +227,7 @@ fn budget_exhaustion_reruns_cache_free() {
             .callee_memo(caches)
             .build()
             .unwrap();
-        Pata::new(config).analyze(module())
+        AnalysisSession::new(config).analyze_module(module())
     };
     // Budgets chosen to land mid-exploration: some roots exhaust, some
     // complete. Every configuration must still agree on the report.

@@ -2,15 +2,15 @@
 //! [`pata_ir::FunctionBuilder`] — the integration path for tools that
 //! produce PIR from their own front-ends (e.g. an LLVM-bitcode importer).
 
-use pata_core::{AnalysisConfig, BugKind, Pata};
+use pata_core::{AnalysisConfig, AnalysisSession, BugKind};
 use pata_ir::{CmpOp, ConstVal, FunctionBuilder, Module, Operand, Type};
 
 fn analyze(module: Module) -> pata_core::AnalysisOutcome {
-    Pata::new(AnalysisConfig {
+    AnalysisSession::new(AnalysisConfig {
         threads: 1,
         ..AnalysisConfig::all_checkers()
     })
-    .analyze(module)
+    .analyze_module(module)
 }
 
 /// Hand-builds the paper's Fig. 7 `foo`/`bar` pair with a null dereference:
@@ -184,7 +184,7 @@ fn exponential_cfg_is_bounded() {
         },
         ..AnalysisConfig::default()
     };
-    let out = Pata::new(config).analyze(m);
+    let out = AnalysisSession::new(config).analyze_module(m);
     assert!(
         out.stats.paths_explored <= 101,
         "budget must bound exploration"

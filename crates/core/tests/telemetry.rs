@@ -2,8 +2,8 @@
 //! (registry, builder, versioned report) across a full pipeline run.
 
 use pata_core::{
-    AnalysisConfig, AnalysisOutcome, BugKind, CheckerRegistry, Pata, RegistryError, Report,
-    REPORT_SCHEMA_VERSION,
+    AnalysisConfig, AnalysisOutcome, AnalysisSession, BugKind, CheckerRegistry, RegistryError,
+    Report, REPORT_SCHEMA_VERSION,
 };
 
 /// A module with several interface functions so the parallel scheduler has
@@ -59,7 +59,7 @@ fn analyze_with_threads(threads: usize) -> AnalysisOutcome {
         .telemetry(true)
         .build()
         .unwrap();
-    Pata::new(config).analyze(module)
+    AnalysisSession::new(config).analyze_module(module)
 }
 
 /// Merging per-worker shards must be lossless: every monotonic counter is
@@ -130,7 +130,7 @@ fn per_root_histogram_covers_every_root() {
 fn disabled_telemetry_yields_empty_snapshot() {
     let module = pata_cc::compile_one("multi.c", MULTI_ROOT_SRC).unwrap();
     let config = AnalysisConfig::builder().threads(1).build().unwrap();
-    let outcome = Pata::new(config).analyze(module);
+    let outcome = AnalysisSession::new(config).analyze_module(module);
     assert!(outcome.telemetry.is_empty());
     assert!(outcome.stats.roots > 0, "analysis itself still ran");
 }

@@ -4,7 +4,7 @@
 //! by the tools they exempt. These contracts are what make the Table 5-8
 //! numbers meaningful.
 
-use pata_core::{AnalysisConfig, BugKind, Pata};
+use pata_core::{AnalysisConfig, AnalysisSession, BugKind};
 use pata_corpus::templates::{self, Ctx, Snippet};
 
 fn compile_snippet(name: &str, snippet: &Snippet, ctx: &Ctx) -> pata_ir::Module {
@@ -39,8 +39,8 @@ fn pata_kinds(module: pata_ir::Module, all: bool) -> Vec<BugKind> {
             ..AnalysisConfig::default()
         }
     };
-    Pata::new(config)
-        .analyze(module)
+    AnalysisSession::new(config)
+        .analyze_module(module)
         .reports
         .iter()
         .map(|r| r.kind)
@@ -153,12 +153,12 @@ fn na_reports_its_targeted_traps() {
         let snippet = template(&ctx);
         let expected: Vec<BugKind> = snippet.marks.iter().map(|m| m.kind).collect();
         let module = compile_snippet(name, &snippet, &ctx);
-        let out = Pata::new(AnalysisConfig {
+        let out = AnalysisSession::new(AnalysisConfig {
             threads: 1,
             alias_mode: AliasMode::None,
             ..AnalysisConfig::default()
         })
-        .analyze(module);
+        .analyze_module(module);
         let found: Vec<BugKind> = out.reports.iter().map(|r| r.kind).collect();
         for kind in &expected {
             assert!(

@@ -55,6 +55,6 @@ pub use function::{Block, BlockId, Function, VarId, VarInfo, VarKind};
 pub use inst::{BinOp, Callee, CmpOp, ConstVal, Inst, InstId, InstKind, Loc, Operand, Terminator};
 pub use intern::{Interner, Symbol};
 pub use module::{Category, FileId, FuncId, Module, SourceFile, StructDef, StructId};
-pub use printer::print_module;
+pub use printer::{function_text, print_module};
 pub use types::Type;
 pub use verify::{verify_function, verify_module, VerifyError};

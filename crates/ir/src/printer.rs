@@ -138,6 +138,21 @@ fn print_function(m: &Module, f: &Function, out: &mut String) {
     let _ = writeln!(out, "}}");
 }
 
+/// Renders one function as human-readable text — the same shape
+/// [`print_module`] emits for it.
+///
+/// The text covers everything that decides the function's analysis
+/// behaviour (instructions, operand identities, callee names, source
+/// locations), which makes it a sound — if conservative — change-detection
+/// fingerprint input: any edit that alters the function's lowered form, its
+/// line numbers, or the module-wide numbering of its operands changes the
+/// text.
+pub fn function_text(m: &Module, f: &Function) -> String {
+    let mut out = String::new();
+    print_function(m, f, &mut out);
+    out
+}
+
 /// Renders the whole module as human-readable text.
 ///
 /// # Example

@@ -14,7 +14,7 @@
 
 use pata::core::checkers::BugKind;
 use pata::core::typestate::{BranchEvent, Checker, FsmSpec, TrackCtx, UpdateInfo};
-use pata::core::{AnalysisConfig, Pata};
+use pata::core::{AnalysisConfig, AnalysisSession};
 use pata_ir::InstKind;
 
 /// FSM: S0 --malloc--> UNCHECKED --null-test--> CHECKED;
@@ -94,7 +94,8 @@ fn main() {
     let module = pata::cc::compile_one("net/rx_demo.c", source).expect("valid mini-C");
 
     let checkers: Vec<Box<dyn Checker>> = vec![Box::new(UncheckedAllocChecker)];
-    let outcome = Pata::new(AnalysisConfig::default()).analyze_with(module, &checkers);
+    let outcome =
+        AnalysisSession::new(AnalysisConfig::default()).analyze_module_with(module, &checkers);
 
     println!("Unchecked-allocation checker reports:");
     for r in &outcome.reports {

@@ -18,7 +18,7 @@
 
 use pata::core::checkers::BugKind;
 use pata::core::typestate::{Checker, FsmSpec, TrackCtx, UpdateInfo};
-use pata::core::{AnalysisConfig, CheckerFactory, CheckerRegistry, Pata};
+use pata::core::{AnalysisConfig, AnalysisSession, CheckerFactory, CheckerRegistry};
 use pata_ir::InstKind;
 
 const S_LOCKED: u8 = 1;
@@ -116,7 +116,7 @@ fn main() {
         .checkers(vec![BugKind::NullPointerDeref])
         .build()
         .expect("valid config");
-    let outcome = Pata::with_registry(config, registry).analyze(module);
+    let outcome = AnalysisSession::with_registry(config, registry).analyze_module(module);
 
     println!("\nplugin reports:");
     for r in &outcome.reports {

@@ -11,7 +11,7 @@
 //! cargo run --example linux_mcde
 //! ```
 
-use pata::core::{AnalysisConfig, BugKind, Pata};
+use pata::core::{AnalysisConfig, AnalysisSession, BugKind};
 
 const MCDE_DSI: &str = r#"
     struct mipi_dsi { int mode_flags; int lanes; };
@@ -47,7 +47,7 @@ const MCDE_DSI: &str = r#"
 fn main() {
     let module =
         pata::cc::compile_one("drivers/gpu/drm/mcde/mcde_dsi.c", MCDE_DSI).expect("valid mini-C");
-    let outcome = Pata::new(AnalysisConfig::default()).analyze(module);
+    let outcome = AnalysisSession::new(AnalysisConfig::default()).analyze_module(module);
 
     let npd: Vec<_> = outcome
         .reports

@@ -6,7 +6,7 @@
 //! cargo run --release --example os_scan -- linux 0.3
 //! ```
 
-use pata::core::{AnalysisConfig, Pata};
+use pata::core::{AnalysisConfig, AnalysisSession};
 use pata::corpus::{Corpus, OsProfile};
 
 fn main() {
@@ -35,7 +35,7 @@ fn main() {
     let module = corpus.compile().expect("generated corpus compiles");
     println!("  compiled into {} PIR functions", module.functions().len());
 
-    let outcome = Pata::new(AnalysisConfig::default()).analyze(module);
+    let outcome = AnalysisSession::new(AnalysisConfig::default()).analyze_module(module);
     let s = &outcome.stats;
     println!("\nAnalysis (paper Table 5 counters):");
     println!("  interface-function roots : {}", s.roots);

@@ -4,7 +4,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use pata::core::{AnalysisConfig, Pata};
+use pata::core::{AnalysisConfig, AnalysisSession};
 
 fn main() {
     // A buggy driver probe: the resource pointer is checked against NULL,
@@ -37,7 +37,7 @@ fn main() {
     let module =
         pata::cc::compile_one("drivers/my_dev.c", source).expect("the snippet is valid mini-C");
 
-    let outcome = Pata::new(AnalysisConfig::default()).analyze(module);
+    let outcome = AnalysisSession::new(AnalysisConfig::default()).analyze_module(module);
 
     println!(
         "PATA analyzed {} paths across {} interface functions\n",

@@ -15,7 +15,7 @@
 //! cargo run --example zephyr_friend_set
 //! ```
 
-use pata::core::{AnalysisConfig, BugKind, Pata};
+use pata::core::{AnalysisConfig, AnalysisSession, BugKind};
 
 const CFG_SRV: &str = r#"
     struct bt_mesh_cfg_srv { int frnd; int relay; };
@@ -46,7 +46,7 @@ fn main() {
         || pata::cc::compile_one("subsys/bluetooth/cfg_srv.c", CFG_SRV).expect("valid mini-C");
 
     println!("== PATA (path-based alias analysis) ==");
-    let outcome = Pata::new(AnalysisConfig::default()).analyze(compile());
+    let outcome = AnalysisSession::new(AnalysisConfig::default()).analyze_module(compile());
     for r in &outcome.reports {
         println!("  {r}");
     }
@@ -58,7 +58,7 @@ fn main() {
     println!("  -> found the cross-function alias bug\n");
 
     println!("== PATA-NA (no alias relationships, Table 6) ==");
-    let na = Pata::new(AnalysisConfig::without_alias()).analyze(compile());
+    let na = AnalysisSession::new(AnalysisConfig::without_alias()).analyze_module(compile());
     let na_found = na
         .reports
         .iter()

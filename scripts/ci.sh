@@ -14,8 +14,8 @@ cargo fmt --check
 echo "== cargo build --release"
 cargo build --release
 
-echo "== cargo test -q"
-cargo test -q
+echo "== cargo test -q --workspace"
+cargo test -q --workspace
 
 echo "== cargo doc --no-deps"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
@@ -25,6 +25,9 @@ cargo bench -p pata-bench --bench telemetry_overhead -- --smoke
 
 echo "== exploration reuse bench (smoke)"
 cargo bench -p pata-bench --bench exploration -- --smoke
+
+echo "== persistence bench (smoke)"
+cargo bench -p pata-bench --bench persistence -- --smoke
 
 echo "== stage timing summary"
 # One-line per-stage wall-clock breakdown from the --stats-json telemetry
@@ -41,5 +44,40 @@ stage_ns() {
         | sed 's/.*"total_ns": \([0-9]*\).*/\1/' | head -n 1
 }
 echo "stage timing (ns): collect=$(stage_ns collect) explore=$(stage_ns explore) filter=$(stage_ns filter)"
+
+echo "== serve round-trip (smoke)"
+# Start a daemon on a unix socket, analyze the generated corpus, touch one
+# corpus function (a new file with one new root), re-analyze, and check
+# that only the touched root was re-explored. Then shut the daemon down
+# cleanly through the client.
+sock="$tmp_dir/pata.sock"
+cargo run -q --release --bin pata -- serve --socket "$sock" \
+    --store "$tmp_dir/serve-store.json" &
+serve_pid=$!
+for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+    [ -S "$sock" ] && break
+    sleep 0.25
+done
+[ -S "$sock" ] || { echo "serve: socket never appeared"; exit 1; }
+first=$(cargo run -q --release --bin pata -- client --socket "$sock" \
+    "$tmp_dir"/corp/*/*.c)
+echo "$first" | grep -q '"ok": true' \
+    || { echo "serve: first analyze failed"; exit 1; }
+echo "$first" | grep -q '"clean_roots": 0' \
+    || { echo "serve: first analyze was not cold"; exit 1; }
+printf 'int ci_edit_probe(int *p) { if (p == NULL) { } return *p; }\n' \
+    > "$tmp_dir/ci_edit.c"
+second=$(cargo run -q --release --bin pata -- client --socket "$sock" \
+    "$tmp_dir"/corp/*/*.c "$tmp_dir/ci_edit.c")
+echo "$second" | grep -q '"ok": true' \
+    || { echo "serve: second analyze failed"; exit 1; }
+echo "$second" | grep -q '"dirty_roots": 1,' \
+    || { echo "serve: edit must dirty exactly one root"; exit 1; }
+echo "$second" | grep -q '"changed_functions": 1,' \
+    || { echo "serve: edit must change exactly one function"; exit 1; }
+cargo run -q --release --bin pata -- client --socket "$sock" --op shutdown \
+    >/dev/null
+wait "$serve_pid" || { echo "serve: daemon exited non-zero"; exit 1; }
+echo "serve round-trip OK (second request re-explored 1 root)"
 
 echo "CI OK"

@@ -1,27 +1,40 @@
 //! `pata` — command-line front-end for the PATA analysis framework.
 //!
 //! ```text
-//! pata analyze <file.c>... [--checkers npd,uva,ml,dl,aiu,dbz,uaf] [--na]
-//!              [--no-validate] [--no-validation-cache] [--resolve-fptrs]
-//!              [--loops N] [--threads N] [--no-exploration-cache]
-//!              [--no-callee-memo] [--fork-depth N] [--json] [--stats]
-//!              [--stats-json PATH] [--profile]
+//! pata analyze <file.c>... [analysis knobs] [--store PATH] [--json]
+//!              [--stats] [--stats-json PATH] [--profile]
+//! pata serve   [analysis knobs] [--store PATH] [--stats-json PATH]
+//!              (--socket PATH | --stdio)
+//! pata client  --socket PATH [--op analyze|ping|stats|shutdown]
+//!              [--id ID] [<file.c>...]
 //! pata corpus <linux|zephyr|riot|tencent> [--scale F] [--seed N] --out DIR
 //! pata ir <file.c>...
 //! pata fsm
 //! ```
 //!
 //! * `analyze` — run PATA on mini-C source files and print reports.
-//!   `--json` prints the versioned report document (see
-//!   `pata_core::report::Report`); `--stats-json PATH` writes the telemetry
-//!   snapshot (see `pata_core::telemetry::TelemetrySnapshot::to_json`);
-//!   `--profile` prints a human-readable profile table to stderr.
+//!   With `--store PATH` the run opens a persistent analysis session:
+//!   previously computed per-root results and validation verdicts are
+//!   loaded from the store, only roots affected by changed functions are
+//!   re-explored, and the refreshed store is written back.
+//! * `serve`   — keep one warm session resident and answer
+//!   newline-delimited JSON requests, either on a unix socket (many
+//!   concurrent clients share the cache) or on stdin/stdout.
+//! * `client`  — submit one request to a running `pata serve` daemon and
+//!   print its response line (non-zero exit if the daemon reports an
+//!   error).
 //! * `corpus`  — write a generated OS model (and its ground-truth manifest
-//!               as JSON) to a directory, for external tooling.
+//!   as JSON) to a directory, for external tooling.
 //! * `ir`      — dump the lowered PIR of the given sources.
 //! * `fsm`     — print every built-in checker's FSM (paper Table 2/7).
+//!
+//! Unknown flags (and flags that don't apply to the given command) are
+//! rejected with a non-zero exit and the usage text.
 
-use pata::core::{AliasMode, AnalysisConfig, BugKind, Pata, Report};
+use pata::core::json::JsonValue;
+use pata::core::{
+    AliasMode, AnalysisConfig, AnalysisRequest, AnalysisSession, BugKind, SessionOutcome,
+};
 use pata::corpus::{Corpus, OsProfile};
 use std::io::Write;
 use std::process::ExitCode;
@@ -35,9 +48,11 @@ fn main() -> ExitCode {
     let rest = &args[1..];
     let result = match cmd.as_str() {
         "analyze" => cmd_analyze(rest),
+        "serve" => cmd_serve(rest),
+        "client" => cmd_client(rest),
         "corpus" => cmd_corpus(rest),
         "ir" => cmd_ir(rest),
-        "fsm" => cmd_fsm(),
+        "fsm" => cmd_fsm(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -55,33 +70,102 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "\
 usage:
-  pata analyze <file.c>... [--checkers LIST] [--na] [--no-validate]
-               [--no-validation-cache] [--resolve-fptrs] [--loops N]
-               [--threads N] [--no-exploration-cache] [--no-callee-memo]
-               [--fork-depth N] [--json] [--stats] [--stats-json PATH]
-               [--profile]
+  pata analyze <file.c>... [analysis knobs] [--store PATH] [--json]
+               [--stats] [--stats-json PATH] [--profile]
+  pata serve   [analysis knobs] [--store PATH] [--stats-json PATH]
+               (--socket PATH | --stdio)
+  pata client  --socket PATH [--op analyze|ping|stats|shutdown] [--id ID]
+               [<file.c>...]
   pata corpus <linux|zephyr|riot|tencent> [--scale F] [--seed N] --out DIR
   pata ir <file.c>...
-  pata fsm";
+  pata fsm
 
-/// Splits `args` into flag map and positional arguments.
-fn split_args(args: &[String]) -> Result<(Vec<String>, Vec<(String, Option<String>)>), String> {
+analysis knobs (analyze and serve):
+  --checkers LIST         comma-separated checker set; any of
+                          npd,uva,ml,dl,aiu,dbz,uaf (default npd,uva,ml)
+  --na                    disable the path-based alias analysis (PATA-NA)
+  --no-validate           skip stage-2 SMT path validation
+  --no-validation-cache   disable the cross-root validation verdict cache
+  --resolve-fptrs         resolve function-pointer calls to all candidates
+  --loops N               loop unrolling bound (default 2)
+  --threads N             worker threads for stage-1 exploration (0 = auto)
+  --no-exploration-cache  disable stage-1 fingerprint subsumption reuse
+  --no-callee-memo        disable the callee summary memo
+  --fork-depth N          depth of speculative exploration forks (default 2)
+
+persistence:
+  --store PATH            versioned on-disk store for warm restarts; loads
+                          cached per-root results + validation verdicts,
+                          re-analyzes only roots reachable from changed
+                          functions, writes the refreshed store back
+
+serve/client:
+  --socket PATH           unix socket the daemon listens on / the client
+                          connects to
+  --stdio                 serve newline-delimited JSON on stdin/stdout
+                          instead of a socket
+  --op OP                 client request op: analyze (default when files
+                          are given), ping, stats, or shutdown
+  --id ID                 client request id echoed in the response
+
+output (analyze):
+  --json                  print the versioned report document
+  --stats                 print analysis counters to stderr
+  --stats-json PATH       write the telemetry snapshot as JSON (for serve:
+                          written when the daemon shuts down)
+  --profile               print a telemetry profile table to stderr";
+
+/// Flags shared by `analyze` and `serve`: `(name, takes_value)`.
+const CONFIG_FLAGS: &[(&str, bool)] = &[
+    ("checkers", true),
+    ("na", false),
+    ("no-validate", false),
+    ("no-validation-cache", false),
+    ("resolve-fptrs", false),
+    ("loops", true),
+    ("threads", true),
+    ("no-exploration-cache", false),
+    ("no-callee-memo", false),
+    ("fork-depth", true),
+];
+
+const ANALYZE_FLAGS: &[(&str, bool)] = &[
+    ("store", true),
+    ("json", false),
+    ("stats", false),
+    ("stats-json", true),
+    ("profile", false),
+];
+
+const SERVE_FLAGS: &[(&str, bool)] = &[
+    ("store", true),
+    ("socket", true),
+    ("stdio", false),
+    ("stats-json", true),
+];
+
+const CLIENT_FLAGS: &[(&str, bool)] = &[("socket", true), ("op", true), ("id", true)];
+
+const CORPUS_FLAGS: &[(&str, bool)] = &[("scale", true), ("seed", true), ("out", true)];
+
+/// Splits `args` into positional arguments and flags, rejecting any flag
+/// not in the allowlists. An unknown flag is a hard error (non-zero exit).
+fn split_args(
+    args: &[String],
+    allowed: &[&[(&str, bool)]],
+) -> Result<(Vec<String>, Vec<(String, Option<String>)>), String> {
     let mut positional = Vec::new();
     let mut flags = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
-            let takes_value = matches!(
-                name,
-                "checkers"
-                    | "loops"
-                    | "threads"
-                    | "fork-depth"
-                    | "scale"
-                    | "seed"
-                    | "out"
-                    | "stats-json"
-            );
+            let Some(&(_, takes_value)) = allowed
+                .iter()
+                .flat_map(|set| set.iter())
+                .find(|(n, _)| *n == name)
+            else {
+                return Err(format!("unknown flag `--{name}`\n{USAGE}"));
+            };
             let value = if takes_value {
                 Some(
                     it.next()
@@ -92,6 +176,8 @@ fn split_args(args: &[String]) -> Result<(Vec<String>, Vec<(String, Option<Strin
                 None
             };
             flags.push((name.to_owned(), value));
+        } else if a.starts_with('-') && a.len() > 1 {
+            return Err(format!("unknown flag `{a}`\n{USAGE}"));
         } else {
             positional.push(a.clone());
         }
@@ -119,90 +205,103 @@ fn parse_checkers(spec: &str) -> Result<Vec<BugKind>, String> {
         .collect()
 }
 
-fn compile_files(files: &[String]) -> Result<pata_ir::Module, String> {
-    if files.is_empty() {
-        return Err("no input files".to_owned());
-    }
-    let mut cc = pata::cc::Compiler::new();
-    for f in files {
-        let text = std::fs::read_to_string(f).map_err(|e| format!("cannot read {f}: {e}"))?;
-        cc.add_source(f, &text);
-    }
-    cc.compile().map_err(|diags| {
-        diags
-            .iter()
-            .map(ToString::to_string)
-            .collect::<Vec<_>>()
-            .join("\n")
-    })
-}
-
-fn cmd_analyze(args: &[String]) -> Result<(), String> {
-    let (files, flags) = split_args(args)?;
-    let stats_json = flag(&flags, "stats-json").cloned().flatten();
-    let profile = flag(&flags, "profile").is_some();
-    let mut builder = AnalysisConfig::builder().telemetry(stats_json.is_some() || profile);
-    if let Some(Some(spec)) = flag(&flags, "checkers") {
+/// Builds an [`AnalysisConfig`] from the shared analysis knobs.
+fn build_config(
+    flags: &[(String, Option<String>)],
+    telemetry: bool,
+) -> Result<AnalysisConfig, String> {
+    let mut builder = AnalysisConfig::builder().telemetry(telemetry);
+    if let Some(Some(spec)) = flag(flags, "checkers") {
         builder = builder.checkers(parse_checkers(spec)?);
     }
-    if flag(&flags, "na").is_some() {
+    if flag(flags, "na").is_some() {
         builder = builder.alias_mode(AliasMode::None);
     }
-    if flag(&flags, "no-validate").is_some() {
+    if flag(flags, "no-validate").is_some() {
         builder = builder.validate_paths(false);
     }
-    if flag(&flags, "no-validation-cache").is_some() {
+    if flag(flags, "no-validation-cache").is_some() {
         builder = builder.validation_cache(false);
     }
-    if flag(&flags, "resolve-fptrs").is_some() {
+    if flag(flags, "resolve-fptrs").is_some() {
         builder = builder.resolve_fptrs(true);
     }
-    if let Some(Some(n)) = flag(&flags, "loops") {
+    if let Some(Some(n)) = flag(flags, "loops") {
         builder =
             builder.loop_iterations(n.parse().map_err(|_| format!("bad --loops value `{n}`"))?);
     }
-    if let Some(Some(n)) = flag(&flags, "threads") {
+    if let Some(Some(n)) = flag(flags, "threads") {
         builder = builder.threads(
             n.parse()
                 .map_err(|_| format!("bad --threads value `{n}`"))?,
         );
     }
-    if flag(&flags, "no-exploration-cache").is_some() {
+    if flag(flags, "no-exploration-cache").is_some() {
         builder = builder.exploration_cache(false);
     }
-    if flag(&flags, "no-callee-memo").is_some() {
+    if flag(flags, "no-callee-memo").is_some() {
         builder = builder.callee_memo(false);
     }
-    if let Some(Some(n)) = flag(&flags, "fork-depth") {
+    if let Some(Some(n)) = flag(flags, "fork-depth") {
         builder = builder.fork_depth(
             n.parse()
                 .map_err(|_| format!("bad --fork-depth value `{n}`"))?,
         );
     }
-    let config = builder
+    builder
         .build()
-        .map_err(|e| format!("bad configuration: {e}"))?;
+        .map_err(|e| format!("bad configuration: {e}"))
+}
 
-    let module = compile_files(&files)?;
-    let outcome = Pata::new(config).analyze(module);
+/// Reads `files` into an [`AnalysisRequest`] (the session compiles them).
+fn read_request(files: &[String]) -> Result<AnalysisRequest, String> {
+    if files.is_empty() {
+        return Err("no input files".to_owned());
+    }
+    let mut request = AnalysisRequest::new();
+    for f in files {
+        let text = std::fs::read_to_string(f).map_err(|e| format!("cannot read {f}: {e}"))?;
+        request = request.file(f.as_str(), text);
+    }
+    Ok(request)
+}
+
+fn open_session(
+    flags: &[(String, Option<String>)],
+    telemetry: bool,
+) -> Result<AnalysisSession, String> {
+    let config = build_config(flags, telemetry)?;
+    Ok(match flag(flags, "store").cloned().flatten() {
+        Some(path) => AnalysisSession::open(config, path),
+        None => AnalysisSession::new(config),
+    })
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let (files, flags) = split_args(args, &[CONFIG_FLAGS, ANALYZE_FLAGS])?;
+    let stats_json = flag(&flags, "stats-json").cloned().flatten();
+    let profile = flag(&flags, "profile").is_some();
+    let mut session = open_session(&flags, stats_json.is_some() || profile)?;
+    let request = read_request(&files)?;
+    let SessionOutcome {
+        report,
+        stats,
+        telemetry,
+        incremental,
+    } = session.analyze(&request).map_err(|e| e.to_string())?;
 
     if flag(&flags, "json").is_some() {
-        println!(
-            "{}",
-            Report::new(outcome.reports.clone())
-                .with_budget_notes(outcome.budget_notes.clone())
-                .to_json()
-        );
+        println!("{}", report.to_json());
     } else {
-        for r in &outcome.reports {
+        for r in &report.reports {
             println!("{r}");
         }
-        if outcome.reports.is_empty() {
+        if report.reports.is_empty() {
             println!("no bugs found");
         }
     }
     if flag(&flags, "stats").is_some() {
-        let s = &outcome.stats;
+        let s = &stats;
         eprintln!(
             "roots: {}  paths: {}  insts: {}",
             s.roots, s.paths_explored, s.insts_processed
@@ -229,14 +328,21 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
             s.live_steps(),
             s.insts_replayed
         );
+        eprintln!(
+            "roots dirty/clean: {}/{}  changed functions: {}  warm start: {}",
+            incremental.dirty_roots,
+            incremental.clean_roots,
+            incremental.changed_functions,
+            incremental.warm_start
+        );
     }
     if let Some(path) = stats_json {
-        std::fs::write(&path, outcome.telemetry.to_json())
+        std::fs::write(&path, telemetry.to_json())
             .map_err(|e| format!("cannot write {path}: {e}"))?;
     }
     if profile {
-        eprint!("{}", outcome.telemetry.render_profile(10));
-        for note in &outcome.budget_notes {
+        eprint!("{}", telemetry.render_profile(10));
+        for note in &report.budget_notes {
             eprintln!(
                 "budget exhausted: root {} ({}){}",
                 note.root,
@@ -252,8 +358,122 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = split_args(args, &[CONFIG_FLAGS, SERVE_FLAGS])?;
+    if let Some(extra) = positional.first() {
+        return Err(format!(
+            "serve takes no positional arguments (got `{extra}`)"
+        ));
+    }
+    let stats_json = flag(&flags, "stats-json").cloned().flatten();
+    let socket = flag(&flags, "socket").cloned().flatten();
+    let stdio = flag(&flags, "stdio").is_some();
+    if socket.is_some() == stdio {
+        return Err("serve needs exactly one of --socket PATH or --stdio".to_owned());
+    }
+    let mut session = open_session(&flags, stats_json.is_some())?;
+
+    let (snapshot, totals) = if stdio {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        let totals = pata::core::serve_loop(&mut session, stdin.lock(), stdout.lock())
+            .map_err(|e| format!("serve: {e}"))?;
+        (session.telemetry().snapshot(), totals)
+    } else {
+        #[cfg(unix)]
+        {
+            let socket = socket.expect("checked above");
+            eprintln!("pata serve: listening on {socket}");
+            let (session, totals) = pata::core::serve_unix(session, std::path::Path::new(&socket))
+                .map_err(|e| format!("serve: {e}"))?;
+            (session.telemetry().snapshot(), totals)
+        }
+        #[cfg(not(unix))]
+        {
+            return Err("--socket requires a unix platform; use --stdio".to_owned());
+        }
+    };
+    eprintln!(
+        "pata serve: handled {} requests ({} analyzed, {} errors), {} dirty / {} clean roots",
+        totals.requests, totals.analyzed, totals.errors, totals.dirty_roots, totals.clean_roots
+    );
+    if let Some(path) = stats_json {
+        std::fs::write(&path, snapshot.to_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(())
+}
+
+fn cmd_client(args: &[String]) -> Result<(), String> {
+    let (files, flags) = split_args(args, &[CLIENT_FLAGS])?;
+    let Some(Some(_socket)) = flag(&flags, "socket") else {
+        return Err("--socket PATH is required".to_owned());
+    };
+    let op = flag(&flags, "op")
+        .cloned()
+        .flatten()
+        .unwrap_or_else(|| if files.is_empty() { "ping" } else { "analyze" }.to_owned());
+    let id = flag(&flags, "id")
+        .cloned()
+        .flatten()
+        .unwrap_or_else(|| "0".to_owned());
+    let id_json = if id.parse::<i64>().is_ok() {
+        id
+    } else {
+        pata::core::json::quote(&id)
+    };
+    let line = match op.as_str() {
+        "analyze" => {
+            let request = read_request(&files)?;
+            let mut parts = Vec::new();
+            for f in request.files {
+                parts.push(format!(
+                    "{{\"name\": {}, \"text\": {}}}",
+                    pata::core::json::quote(&f.name),
+                    pata::core::json::quote(&f.text)
+                ));
+            }
+            format!(
+                "{{\"id\": {id_json}, \"op\": \"analyze\", \"files\": [{}]}}",
+                parts.join(", ")
+            )
+        }
+        "ping" | "stats" | "shutdown" => {
+            if !files.is_empty() {
+                return Err(format!("--op {op} takes no input files"));
+            }
+            format!("{{\"id\": {id_json}, \"op\": \"{op}\"}}")
+        }
+        other => return Err(format!("unknown --op `{other}`")),
+    };
+    #[cfg(unix)]
+    {
+        let socket = flag(&flags, "socket")
+            .cloned()
+            .flatten()
+            .expect("checked above");
+        let response = pata::core::client_request(std::path::Path::new(&socket), &line)
+            .map_err(|e| format!("client: {e}"))?;
+        println!("{response}");
+        let ok = JsonValue::parse(&response)
+            .ok()
+            .and_then(|doc| doc.get("ok").and_then(JsonValue::as_bool))
+            .unwrap_or(false);
+        if ok {
+            Ok(())
+        } else {
+            Err("daemon reported an error".to_owned())
+        }
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = line;
+        Err("pata client requires a unix platform".to_owned())
+    }
+}
+
 fn cmd_corpus(args: &[String]) -> Result<(), String> {
-    let (positional, flags) = split_args(args)?;
+    let (positional, flags) = split_args(args, &[CORPUS_FLAGS])?;
     let which = positional.first().map(String::as_str).unwrap_or("zephyr");
     let mut profile = match which {
         "linux" => OsProfile::linux(),
@@ -298,13 +518,31 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_ir(args: &[String]) -> Result<(), String> {
-    let (files, _) = split_args(args)?;
-    let module = compile_files(&files)?;
+    let (files, _) = split_args(args, &[])?;
+    if files.is_empty() {
+        return Err("no input files".to_owned());
+    }
+    let mut cc = pata::cc::Compiler::new();
+    for f in &files {
+        let text = std::fs::read_to_string(f).map_err(|e| format!("cannot read {f}: {e}"))?;
+        cc.add_source(f, &text);
+    }
+    let module = cc.compile().map_err(|diags| {
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    })?;
     print!("{}", pata_ir::print_module(&module));
     Ok(())
 }
 
-fn cmd_fsm() -> Result<(), String> {
+fn cmd_fsm(args: &[String]) -> Result<(), String> {
+    let (positional, _) = split_args(args, &[])?;
+    if let Some(extra) = positional.first() {
+        return Err(format!("fsm takes no arguments (got `{extra}`)"));
+    }
     for kind in BugKind::ALL {
         let checker = kind.instantiate();
         let fsm = checker.fsm();

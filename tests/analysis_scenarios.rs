@@ -2,15 +2,15 @@
 //! what PATA must and must not report. These pin down the semantics of the
 //! alias rules, the checker FSMs and the validator on realistic idioms.
 
-use pata::core::{AnalysisConfig, AnalysisOutcome, BugKind, Pata};
+use pata::core::{AnalysisConfig, AnalysisOutcome, AnalysisSession, BugKind};
 
 fn analyze(src: &str) -> AnalysisOutcome {
     let module = pata::cc::compile_one("scenario.c", src).expect("scenario compiles");
-    Pata::new(AnalysisConfig {
+    AnalysisSession::new(AnalysisConfig {
         threads: 1,
         ..AnalysisConfig::all_checkers()
     })
-    .analyze(module)
+    .analyze_module(module)
 }
 
 fn kinds(out: &AnalysisOutcome) -> Vec<BugKind> {

@@ -2,24 +2,24 @@
 //! studies (Figs. 1, 3, 9, 12) end-to-end: mini-C source → PIR → PATA →
 //! validated reports.
 
-use pata::core::{AnalysisConfig, BugKind, Pata};
+use pata::core::{AnalysisConfig, AnalysisSession, BugKind};
 
 fn analyze(path: &str, src: &str) -> pata::core::AnalysisOutcome {
     let module = pata::cc::compile_one(path, src).expect("case study compiles");
-    Pata::new(AnalysisConfig {
+    AnalysisSession::new(AnalysisConfig {
         threads: 1,
         ..AnalysisConfig::default()
     })
-    .analyze(module)
+    .analyze_module(module)
 }
 
 fn analyze_na(path: &str, src: &str) -> pata::core::AnalysisOutcome {
     let module = pata::cc::compile_one(path, src).expect("case study compiles");
-    Pata::new(AnalysisConfig {
+    AnalysisSession::new(AnalysisConfig {
         threads: 1,
         ..AnalysisConfig::without_alias()
     })
-    .analyze(module)
+    .analyze_module(module)
 }
 
 /// Fig. 1 — Linux s5p_mfc_probe: `dev->plat_dev = pdev; if (!dev->plat_dev)

@@ -189,3 +189,167 @@ fn ir_dump_contains_functions() {
     assert!(stdout.contains("fn probe"));
     assert!(stdout.contains("gep"));
 }
+
+#[test]
+fn unknown_flag_is_rejected_with_usage() {
+    let dir = std::env::temp_dir().join("pata_cli_badflag");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = write_demo(&dir);
+    for args in [
+        vec!["analyze", file.to_str().unwrap(), "--bogus"],
+        vec!["analyze", file.to_str().unwrap(), "--socket", "x"],
+        vec!["serve", "--stdio", "--json"],
+        vec!["corpus", "tencent", "--threads", "2"],
+        vec!["client", "--socket", "x", "--store", "y"],
+    ] {
+        let out = pata().args(&args).output().unwrap();
+        assert!(!out.status.success(), "{args:?} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("unknown flag"), "{args:?}: {stderr}");
+        assert!(stderr.contains("usage"), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn help_enumerates_every_knob() {
+    let out = pata().args(["--help"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for knob in [
+        "--checkers",
+        "--na",
+        "--no-validate",
+        "--no-validation-cache",
+        "--resolve-fptrs",
+        "--loops",
+        "--threads",
+        "--no-exploration-cache",
+        "--no-callee-memo",
+        "--fork-depth",
+        "--store",
+        "--socket",
+        "--stdio",
+        "--json",
+        "--stats",
+        "--stats-json",
+        "--profile",
+        "--scale",
+        "--seed",
+        "--out",
+    ] {
+        assert!(stdout.contains(knob), "help missing {knob}");
+    }
+}
+
+#[test]
+fn analyze_store_makes_second_run_warm() {
+    let dir = std::env::temp_dir().join("pata_cli_store");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = write_demo(&dir);
+    let store = dir.join("store.json");
+    let run = || {
+        pata()
+            .args([
+                "analyze",
+                file.to_str().unwrap(),
+                "--store",
+                store.to_str().unwrap(),
+                "--json",
+                "--stats",
+            ])
+            .output()
+            .unwrap()
+    };
+    let cold = run();
+    assert!(cold.status.success(), "{cold:?}");
+    assert!(String::from_utf8_lossy(&cold.stderr).contains("warm start: false"));
+    let warm = run();
+    assert!(warm.status.success(), "{warm:?}");
+    let stderr = String::from_utf8_lossy(&warm.stderr);
+    assert!(stderr.contains("warm start: true"), "{stderr}");
+    assert!(stderr.contains("roots dirty/clean: 0/1"), "{stderr}");
+    assert_eq!(cold.stdout, warm.stdout, "cold and warm reports identical");
+}
+
+#[test]
+fn serve_stdio_answers_and_shuts_down() {
+    use std::io::Write as _;
+    let mut child = pata()
+        .args(["serve", "--stdio"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let src = "int probe(int *p) { if (p == NULL) { } return *p; }";
+    let request = format!(
+        "{{\"id\": 1, \"op\": \"analyze\", \"files\": [{{\"name\": \"t.c\", \"text\": {}}}]}}\n{{\"id\": 2, \"op\": \"shutdown\"}}\n",
+        pata::core::json::quote(src)
+    );
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(request.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "{stdout}");
+    let first = pata::core::json::JsonValue::parse(lines[0]).unwrap();
+    assert_eq!(first.get("ok").and_then(|v| v.as_bool()), Some(true));
+    assert!(lines[0].contains("null-pointer-dereference"), "{stdout}");
+    assert!(lines[1].contains("\"op\": \"shutdown\""));
+}
+
+#[cfg(unix)]
+#[test]
+fn serve_socket_shares_warm_cache_across_clients() {
+    let dir = std::env::temp_dir().join("pata_cli_daemon");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = write_demo(&dir);
+    let socket = dir.join("pata.sock");
+    let mut daemon = pata()
+        .args(["serve", "--socket", socket.to_str().unwrap()])
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    for _ in 0..200 {
+        if socket.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let client = |extra: &[&str]| {
+        let mut args = vec!["client", "--socket", socket.to_str().unwrap()];
+        args.extend_from_slice(extra);
+        pata().args(&args).output().unwrap()
+    };
+    let first = client(&[file.to_str().unwrap()]);
+    assert!(first.status.success(), "{first:?}");
+    let second = client(&[file.to_str().unwrap()]);
+    assert!(second.status.success(), "{second:?}");
+    let doc =
+        pata::core::json::JsonValue::parse(String::from_utf8_lossy(&second.stdout).trim()).unwrap();
+    let serve = doc.get("serve").expect("serve block");
+    assert_eq!(
+        serve.get("dirty_roots").and_then(|v| v.as_u64()),
+        Some(0),
+        "second client fully served from the shared warm cache"
+    );
+    // Identical embedded report for both clients.
+    let report_of = |out: &std::process::Output| {
+        let text = String::from_utf8_lossy(&out.stdout).to_string();
+        let start = text.find("\"report\": ").unwrap();
+        let end = text.find(", \"serve\": ").unwrap();
+        text[start..end].to_string()
+    };
+    assert_eq!(report_of(&first), report_of(&second));
+    let bye = client(&["--op", "shutdown"]);
+    assert!(bye.status.success(), "{bye:?}");
+    assert!(daemon.wait().unwrap().success());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -5,7 +5,7 @@ use pata::baselines::{
     intra::IntraPatternAnalyzer, pata_na::PataNaAnalyzer, svf_null::SvfNullAnalyzer,
     value_flow::ValueFlowLeakAnalyzer, Analyzer,
 };
-use pata::core::{AnalysisConfig, Pata};
+use pata::core::{AnalysisConfig, AnalysisSession};
 use pata::corpus::{Corpus, OsProfile};
 
 fn small(profile: OsProfile) -> Corpus {
@@ -19,7 +19,7 @@ fn pata_finds_all_injected_main_bugs() {
     for profile in OsProfile::all() {
         let corpus = small(profile);
         let module = corpus.compile().unwrap();
-        let outcome = Pata::new(AnalysisConfig::default()).analyze(module);
+        let outcome = AnalysisSession::new(AnalysisConfig::default()).analyze_module(module);
         let score = corpus.manifest.score(&outcome.reports);
         let main_bugs = corpus
             .manifest
@@ -42,7 +42,7 @@ fn pata_finds_all_injected_main_bugs() {
 fn pata_fp_rate_below_baselines() {
     let corpus = small(OsProfile::linux());
     let module = corpus.compile().unwrap();
-    let pata = Pata::new(AnalysisConfig::default()).analyze(module);
+    let pata = AnalysisSession::new(AnalysisConfig::default()).analyze_module(module);
     let pata_score = corpus.manifest.score(&pata.reports);
 
     let baselines: Vec<Box<dyn Analyzer>> = vec![
@@ -76,7 +76,7 @@ fn na_real_bugs_are_subset_of_pata() {
     // Paper §5.4: "These 194 real bugs are all found by PATA".
     let corpus = small(OsProfile::riot());
     let module = corpus.compile().unwrap();
-    let pata = Pata::new(AnalysisConfig::default()).analyze(module);
+    let pata = AnalysisSession::new(AnalysisConfig::default()).analyze_module(module);
     let pata_score = corpus.manifest.score(&pata.reports);
 
     let module = corpus.compile().unwrap();
@@ -108,7 +108,7 @@ fn alias_awareness_reduces_costs() {
     // drops a large share of typestates and SMT constraints.
     let corpus = small(OsProfile::linux());
     let module = corpus.compile().unwrap();
-    let outcome = Pata::new(AnalysisConfig::default()).analyze(module);
+    let outcome = AnalysisSession::new(AnalysisConfig::default()).analyze_module(module);
     let s = &outcome.stats;
     assert!(
         s.typestates_dropped_ratio() > 0.30,
@@ -126,12 +126,13 @@ fn alias_awareness_reduces_costs() {
 fn validation_drops_false_bugs() {
     // With validation disabled, reports can only grow.
     let corpus = small(OsProfile::tencent());
-    let with = Pata::new(AnalysisConfig::default()).analyze(corpus.compile().unwrap());
-    let without = Pata::new(AnalysisConfig {
+    let with =
+        AnalysisSession::new(AnalysisConfig::default()).analyze_module(corpus.compile().unwrap());
+    let without = AnalysisSession::new(AnalysisConfig {
         validate_paths: false,
         ..AnalysisConfig::default()
     })
-    .analyze(corpus.compile().unwrap());
+    .analyze_module(corpus.compile().unwrap());
     assert!(without.reports.len() >= with.reports.len());
 }
 
@@ -139,11 +140,11 @@ fn validation_drops_false_bugs() {
 fn analysis_is_deterministic_across_runs() {
     let corpus = small(OsProfile::zephyr());
     let run = |threads: usize| {
-        let outcome = Pata::new(AnalysisConfig {
+        let outcome = AnalysisSession::new(AnalysisConfig {
             threads,
             ..AnalysisConfig::default()
         })
-        .analyze(corpus.compile().unwrap());
+        .analyze_module(corpus.compile().unwrap());
         let mut keys: Vec<String> = outcome
             .reports
             .iter()
@@ -163,7 +164,7 @@ fn analysis_is_deterministic_across_runs() {
 fn all_checkers_config_finds_extra_bugs() {
     let corpus = small(OsProfile::linux());
     let module = corpus.compile().unwrap();
-    let outcome = Pata::new(AnalysisConfig::all_checkers()).analyze(module);
+    let outcome = AnalysisSession::new(AnalysisConfig::all_checkers()).analyze_module(module);
     let score = corpus.manifest.score(&outcome.reports);
     assert_eq!(
         score.missed, 0,
@@ -176,7 +177,7 @@ fn all_checkers_config_finds_extra_bugs() {
 fn budget_exhaustion_is_graceful() {
     let corpus = small(OsProfile::linux());
     let module = corpus.compile().unwrap();
-    let outcome = Pata::new(AnalysisConfig {
+    let outcome = AnalysisSession::new(AnalysisConfig {
         budget: pata::core::PathBudget {
             max_paths: 2,
             max_insts: 500,
@@ -185,7 +186,7 @@ fn budget_exhaustion_is_graceful() {
         },
         ..AnalysisConfig::default()
     })
-    .analyze(module);
+    .analyze_module(module);
     // Tiny budgets must not crash; they simply find fewer bugs.
     assert!(outcome.stats.budget_exhausted_roots > 0);
 }
@@ -196,7 +197,7 @@ fn fp_rate_stable_across_seeds() {
     for seed in [7u64, 1234, 98765] {
         let corpus = Corpus::generate(&OsProfile::riot().with_scale(0.3).with_seed(seed));
         let module = corpus.compile().unwrap();
-        let outcome = Pata::new(AnalysisConfig::default()).analyze(module);
+        let outcome = AnalysisSession::new(AnalysisConfig::default()).analyze_module(module);
         let score = corpus.manifest.score(&outcome.reports);
         let fp = score.false_positive_rate();
         assert!(
