@@ -18,6 +18,7 @@
 //! corpus (default 1.0).
 
 use pata_bench::harness::time_once;
+use pata_bench::results;
 use pata_core::{AnalysisConfig, AnalysisRequest, AnalysisSession, SessionOutcome};
 use pata_corpus::{Corpus, OsProfile};
 use std::path::{Path, PathBuf};
@@ -101,8 +102,14 @@ fn main() {
     let dir = std::env::temp_dir().join(format!("pata-bench-persist-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let corpus = Corpus::generate(&OsProfile::linux().with_scale(scale));
+    // Smoke mode uses fewer but deeper roots: exploration must still dwarf
+    // parse cost (the scenario above) now that copy-on-write forking has
+    // made cold exploration itself cheaper.
     let heavy: Vec<(String, String)> = (0..if smoke { 12 } else { 40 })
-        .map(|i| (format!("drivers/heavy_{i}.c"), heavy_file(i, 11)))
+        .map(|i| {
+            let branches = if smoke { 12 } else { 11 };
+            (format!("drivers/heavy_{i}.c"), heavy_file(i, branches))
+        })
         .collect();
     let base_req = request(&corpus, &heavy, None);
     let edited_req = request(&corpus, &heavy, Some(EDIT));
@@ -213,6 +220,26 @@ fn main() {
     println!();
     println!("reports: byte-identical cold/warm/served at threads 1, 2, 4");
     println!("warm speedup: {speedup:.1}x (target ≥5x)");
+
+    let section = results::object(&[
+        ("scale", format!("{scale}")),
+        ("cold_seconds", format!("{cold_s:.6}")),
+        ("warm_seconds", format!("{warm_s:.6}")),
+        ("warm_speedup", format!("{speedup:.3}")),
+        (
+            "dirty_roots",
+            format!("{}", warm_out.incremental.dirty_roots),
+        ),
+        (
+            "clean_roots",
+            format!("{}", warm_out.incremental.clean_roots),
+        ),
+    ]);
+    results::write_section("persistence", &section).expect("write results/BENCH_stage1.json");
+    println!(
+        "results: persistence section written to {}",
+        results::bench_stage1_path().display()
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
     println!();

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod results;
 
 use pata_baselines::Analyzer;
 use pata_core::{AnalysisConfig, AnalysisOutcome, AnalysisSession, BugKind};

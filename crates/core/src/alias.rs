@@ -15,7 +15,6 @@
 
 use crate::fingerprint::{hash2, hash4, TAG_EDGE, TAG_VAR_PLACED};
 use pata_ir::{Symbol, VarId};
-use std::collections::HashMap;
 use std::fmt;
 
 /// A node in the alias graph — one alias class / abstract object.
@@ -150,7 +149,11 @@ pub struct Mark(usize);
 #[derive(Debug, Default, Clone)]
 pub struct AliasGraph {
     nodes: Vec<NodeData>,
-    var_node: HashMap<VarId, NodeId>,
+    /// Variable → node placement, dense by `VarId::index()`. Variable ids
+    /// are small module-wide integers and this map sits on the hottest
+    /// lookup path of the explorer (`node_of` per operand), so a flat
+    /// vector beats any hash map; untouched variables cost one `None`.
+    var_node: Vec<Option<NodeId>>,
     journal: Vec<Op>,
     /// Incremental XOR fingerprint over placements and edges (see
     /// [`crate::fingerprint`]); maintained by every mutation and rollback.
@@ -214,7 +217,23 @@ impl AliasGraph {
 
     /// The node a variable currently resides in, if it was ever touched.
     pub fn node_of_var(&self, v: VarId) -> Option<NodeId> {
-        self.var_node.get(&v).copied()
+        self.var_node.get(v.index()).copied().flatten()
+    }
+
+    /// An O(1) estimate of the live bytes this graph holds — what a
+    /// clone-based branch fork would copy. Counts the node and journal
+    /// vectors by element size; per-node `vars`/`out` spill is approximated
+    /// by the journal (every placement and edge passed through it).
+    pub(crate) fn approx_bytes(&self) -> u64 {
+        (self.nodes.len() * std::mem::size_of::<NodeData>()
+            + self.var_node.len() * std::mem::size_of::<Option<NodeId>>()
+            + self.journal.len() * std::mem::size_of::<Op>()) as u64
+    }
+
+    /// Journal length — the undo depth a rollback to the graph's creation
+    /// would walk. Exposed for fork telemetry.
+    pub(crate) fn journal_len(&self) -> usize {
+        self.journal.len()
     }
 
     /// The variables residing in `n` — the length-0 access paths of the
@@ -256,7 +275,7 @@ impl AliasGraph {
     }
 
     fn place_var(&mut self, v: VarId, to: NodeId) {
-        let from = self.var_node.get(&v).copied();
+        let from = self.node_of_var(v);
         if from == Some(to) {
             return;
         }
@@ -265,7 +284,10 @@ impl AliasGraph {
             self.fp ^= fp_var(v, f);
         }
         self.nodes[to.index()].vars.push(v);
-        self.var_node.insert(v, to);
+        if self.var_node.len() <= v.index() {
+            self.var_node.resize(v.index() + 1, None);
+        }
+        self.var_node[v.index()] = Some(to);
         self.fp ^= fp_var(v, to);
         self.journal.push(Op::VarMoved { v, from, to });
     }
@@ -446,11 +468,11 @@ impl AliasGraph {
                     match from {
                         Some(f) => {
                             self.nodes[f.index()].vars.push(v);
-                            self.var_node.insert(v, f);
+                            self.var_node[v.index()] = Some(f);
                             self.fp ^= fp_var(v, f);
                         }
                         None => {
-                            self.var_node.remove(&v);
+                            self.var_node[v.index()] = None;
                         }
                     }
                 }

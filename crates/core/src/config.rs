@@ -103,6 +103,16 @@ pub struct AnalysisConfig {
     /// shared exploration caches (`0` disables intra-root forking). Only
     /// takes effect when there are more worker threads than roots.
     pub fork_depth: usize,
+    /// Copy-on-write path state (DESIGN.md "Copy-on-write path state"):
+    /// branch forks take a fixed-size mark and sibling arms restore by
+    /// undo-journal rollback, costing O(changed). Disabling falls back to
+    /// the paper's literal per-successor COPY (deep-cloning the alias
+    /// graph, typestate table, path-local maps, frames and constraint
+    /// trace at every fork) — observationally identical, and useful as a
+    /// differential oracle and as the baseline for the
+    /// `driver.explore.fork.*` cost telemetry. Disable with
+    /// `--no-cow-state` to measure.
+    pub cow_state: bool,
 }
 
 impl Default for AnalysisConfig {
@@ -123,6 +133,7 @@ impl Default for AnalysisConfig {
             exploration_cache: true,
             callee_memo: true,
             fork_depth: 2,
+            cow_state: true,
         }
     }
 }
@@ -309,6 +320,13 @@ impl AnalysisConfigBuilder {
     /// Sets the speculative intra-root fork depth (0 disables forking).
     pub fn fork_depth(mut self, n: usize) -> Self {
         self.config.fork_depth = n;
+        self
+    }
+
+    /// Enables or disables copy-on-write path state (off = the paper's
+    /// literal clone-per-branch COPY semantics; verdict-neutral).
+    pub fn cow_state(mut self, on: bool) -> Self {
+        self.config.cow_state = on;
         self
     }
 

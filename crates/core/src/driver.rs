@@ -6,7 +6,7 @@
 use crate::collector;
 use crate::config::AnalysisConfig;
 use crate::filter;
-use crate::path::{Explorer, SharedTables};
+use crate::path::{Explorer, ForkStats, SharedTables};
 use crate::registry::CheckerRegistry;
 use crate::report::{BugReport, PossibleBug};
 use crate::stats::{AnalysisStats, BudgetNote};
@@ -349,6 +349,7 @@ impl Pata {
             let mut runs = Vec::with_capacity(roots.len());
             let mut sink = TelemetrySink::new();
             let mut alias_ops = [0u64; 7];
+            let mut fork_total = ForkStats::default();
             for (i, &root) in roots.iter().enumerate() {
                 let span = Span::start(tel_on, "explore.root");
                 let mut explorer = Explorer::new(module, &self.config, checkers, root);
@@ -361,6 +362,12 @@ impl Pata {
                     for (acc, n) in alias_ops.iter_mut().zip(result.alias_ops) {
                         *acc += n;
                     }
+                    flush_root_fork_stats(
+                        &mut sink,
+                        module.function(root).name(),
+                        &result.fork_stats,
+                    );
+                    fork_total.merge(&result.fork_stats);
                 }
                 *stats += &result.stats;
                 runs.push(RootRun {
@@ -372,6 +379,7 @@ impl Pata {
             }
             if tel_on {
                 flush_alias_ops(&mut sink, &alias_ops);
+                flush_fork_totals(&mut sink, &fork_total);
                 sink.gauge_max("driver.threads", 1);
                 self.telemetry.merge(sink);
             }
@@ -404,6 +412,7 @@ impl Pata {
                     // runs, merged into the shared registry once at exit.
                     let mut sink = TelemetrySink::new();
                     let mut alias_ops = [0u64; 7];
+                    let mut fork_total = ForkStats::default();
                     loop {
                         let mut task = queues[w].lock().unwrap().pop_front();
                         if task.is_none() {
@@ -431,6 +440,12 @@ impl Pata {
                             for (acc, n) in alias_ops.iter_mut().zip(result.alias_ops) {
                                 *acc += n;
                             }
+                            flush_root_fork_stats(
+                                &mut sink,
+                                module.function(roots[i]).name(),
+                                &result.fork_stats,
+                            );
+                            fork_total.merge(&result.fork_stats);
                         }
                         collected.lock().unwrap().push(RootRun {
                             index: i,
@@ -441,6 +456,7 @@ impl Pata {
                     }
                     if tel_on {
                         flush_alias_ops(&mut sink, &alias_ops);
+                        flush_fork_totals(&mut sink, &fork_total);
                         if !sink.is_empty() {
                             telemetry.merge(sink);
                         }
@@ -522,6 +538,39 @@ fn flush_alias_ops(sink: &mut TelemetrySink, alias_ops: &[u64; 7]) {
             sink.add_labeled("alias.op", Some(name.into()), alias_ops[i]);
         }
     }
+}
+
+/// Per-root fork counters, labeled by root name so `--profile` can show
+/// forks and copied bytes per slow root. Totals come from summing the
+/// labels (`TelemetrySnapshot::counter_sum`), so no unlabeled counter with
+/// the same name is ever emitted.
+fn flush_root_fork_stats(sink: &mut TelemetrySink, root: &str, fs: &ForkStats) {
+    if fs.forks == 0 {
+        return;
+    }
+    sink.add_labeled("driver.explore.fork.forks", Some(root.into()), fs.forks);
+    sink.add_labeled(
+        "driver.explore.fork.bytes_copied",
+        Some(root.into()),
+        fs.bytes_copied,
+    );
+}
+
+/// Run-wide fork aggregates: shared-vs-copied bytes and the high-water
+/// gauges for undo-journal depth and live state size.
+fn flush_fork_totals(sink: &mut TelemetrySink, fs: &ForkStats) {
+    if fs.forks == 0 {
+        return;
+    }
+    sink.add("driver.explore.fork.bytes_shared", fs.bytes_shared);
+    sink.gauge_max(
+        "driver.explore.fork.journal_depth.max",
+        fs.journal_depth_max as i64,
+    );
+    sink.gauge_max(
+        "driver.explore.fork.live_bytes.max",
+        fs.live_bytes_max as i64,
+    );
 }
 
 #[cfg(test)]

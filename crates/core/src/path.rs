@@ -9,7 +9,13 @@
 //! typestates, condition definitions, symbols, constraint trace) is marked,
 //! one successor is fully explored, and the state is rolled back before the
 //! other successor — the paper's per-path "COPY" of the alias graph (Fig. 7)
-//! implemented with undo journals instead of clones.
+//! implemented with undo journals instead of clones. The copy-on-write
+//! discipline is switchable ([`crate::AnalysisConfig::cow_state`], DESIGN.md
+//! "Copy-on-write path state"): with it off, every branch arm restores by
+//! deep-cloning the live state at the fork — the paper's literal COPY
+//! semantics — which doubles as the differential oracle for the journaled
+//! mode and as the baseline the `driver.explore.fork.*` telemetry (forks,
+//! bytes copied vs shared, undo-journal depth) quantifies the win against.
 //!
 //! Loops and recursion are unrolled once: a successor block already on the
 //! current within-frame DFS stack is not re-entered, and a callee already on
@@ -36,21 +42,20 @@ use crate::alias::{AliasGraph, Label, Mark as GraphMark, NodeId, Op as GraphOp};
 use crate::checkers::ml;
 use crate::config::{AliasMode, AnalysisConfig};
 use crate::fingerprint::{
-    hash2, hash4, mix, TAG_ARG, TAG_CALLSTACK, TAG_COND, TAG_CONT, TAG_FPTR, TAG_FRAME, TAG_HEAP,
-    TAG_SYM, TAG_VISIT,
+    hash2, hash4, mix, FxHashMap, TAG_ARG, TAG_CALLSTACK, TAG_COND, TAG_CONT, TAG_FPTR, TAG_FRAME,
+    TAG_HEAP, TAG_SYM, TAG_VISIT,
 };
 use crate::report::PossibleBug;
 use crate::stats::{AnalysisStats, BudgetNote};
 use crate::typestate::{
     BranchEvent, Checker, FrameEndEvent, HeapObject, OperandKey, PendingBug, StateMark, StateOp,
-    StateTable, TrackCtx, TrackKey,
+    StateTable, TrackCtx, TrackKey, UpdateInfo,
 };
 use pata_ir::{
     BlockId, Callee, CmpOp, ConstVal, FuncId, Inst, InstId, InstKind, Loc, Module, Operand,
     Terminator, VarId,
 };
 use pata_smt::{CmpOp as SmtOp, Constraint, SymId, Term};
-use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 /// The definition of a branch-condition temporary (`c = a < b`).
@@ -62,9 +67,14 @@ struct PredDef {
 }
 
 /// One inlined function activation.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Frame {
     func: FuncId,
+    /// Explorer-unique id; heap-journal entries name their frame by serial
+    /// so rollback can tell a dead frame's leftover entries (nothing to
+    /// undo — the frame's facts left `frames_fp` when it was popped) from
+    /// entries of the frame currently at that depth.
+    serial: u64,
     /// Per-block visit counts on the current DFS stack within this frame
     /// (the loop cut: a block may appear `loop_iterations + 1` times on a
     /// path, letting a loop body run `loop_iterations` times and the path
@@ -90,15 +100,39 @@ struct Frame {
 }
 
 impl Frame {
-    fn new(func: FuncId, block_count: usize, cyclic: Arc<Vec<bool>>, depth: usize) -> Self {
+    fn new(
+        func: FuncId,
+        serial: u64,
+        block_count: usize,
+        cyclic: Arc<Vec<bool>>,
+        depth: usize,
+    ) -> Self {
         Frame {
             func,
+            serial,
             visited: vec![0; block_count],
             cyclic,
             heap_objects: Vec::new(),
             fp: hash2(TAG_FRAME, depth as u64, func.index() as u64),
         }
     }
+
+    /// Rough heap footprint of one deep-cloned frame.
+    fn approx_bytes(&self) -> u64 {
+        (self.visited.len() * std::mem::size_of::<u32>()
+            + self.heap_objects.len() * std::mem::size_of::<HeapObject>()) as u64
+    }
+}
+
+/// One journaled heap-object push: which frame (by serial, see
+/// [`Frame::serial`]) received an object, and at which depth it sat. The
+/// journal makes [`Explorer::full_mark`] O(1) — the old design snapshotted
+/// every frame's heap-object count into a `Vec`, making every branch fork
+/// O(call depth) with an allocation.
+#[derive(Debug, Clone, Copy)]
+struct HeapPush {
+    serial: u64,
+    depth: u32,
 }
 
 /// A pending return site while a callee is being explored.
@@ -110,8 +144,10 @@ struct Cont {
     dst: Option<VarId>,
 }
 
-/// A combined rollback point across all journaled structures.
-#[derive(Debug, Clone)]
+/// A combined rollback point across all journaled structures. `Copy` and
+/// fixed-size by design: taking one allocates nothing, so a branch fork
+/// costs O(changed) regardless of call depth or path length.
+#[derive(Debug, Clone, Copy)]
 struct FullMark {
     graph: GraphMark,
     states: StateMark,
@@ -126,7 +162,34 @@ struct FullMark {
     /// rolled-back siblings cannot collide.)
     next_sym: u32,
     trace: usize,
-    heap_lens: Vec<usize>,
+    heap: usize,
+}
+
+/// A deep copy of every forkable structure, taken per branch arm when
+/// [`crate::AnalysisConfig::cow_state`] is off — the paper's literal
+/// per-successor COPY of the live state (Fig. 7). Restoring move-assigns
+/// the clones back, which is observationally identical to the journal
+/// rollback CoW mode performs (the equivalence tests assert byte-identical
+/// reports across both). It exists as the measured baseline for the
+/// `driver.explore.fork.*` telemetry and as a differential oracle for the
+/// journaled mode. The continuation stack is deliberately absent: branch
+/// arms are call-balanced, so `conts` (and its accumulator) return to their
+/// fork-time values on their own.
+struct CloneSnapshot {
+    graph: AliasGraph,
+    states: StateTable,
+    cond_defs: FxHashMap<VarId, PredDef>,
+    cond_journal: Vec<(VarId, Option<PredDef>)>,
+    syms: FxHashMap<TrackKey, SymId>,
+    sym_journal: Vec<(TrackKey, Option<SymId>)>,
+    fptrs: FxHashMap<TrackKey, FuncId>,
+    fptr_journal: Vec<(TrackKey, Option<FuncId>)>,
+    heap_journal: Vec<HeapPush>,
+    next_sym: u32,
+    trace: Vec<Constraint>,
+    frames: Vec<Frame>,
+    maps_fp: u64,
+    frames_fp: u64,
 }
 
 // ==================================================================
@@ -147,10 +210,14 @@ struct FullMark {
 /// re-emit it at replay time. `suffix` holds the constraints the subtree
 /// pushed after the recorder's entry point; the replaying path prepends its
 /// own live trace prefix, which is exactly what a re-run would have cloned.
+/// The bug body and rendered alias paths are `Arc`-shared: every recorder
+/// observing the emission (nested subsumption recorders plus the callee
+/// recorder) holds the same allocation, and replay re-emits by bumping a
+/// refcount instead of deep-cloning strings.
 #[derive(Debug, Clone)]
 struct RecordedBug {
-    pb: PendingBug,
-    alias_paths: Vec<String>,
+    pb: Arc<PendingBug>,
+    alias_paths: Arc<Vec<String>>,
     suffix: Vec<Constraint>,
 }
 
@@ -250,16 +317,16 @@ const SHARDS: usize = 8;
 /// its fork helpers. Entries are `Arc`'d so a lookup copies a pointer, not
 /// a journal.
 pub(crate) struct SharedTables {
-    sub: Vec<Mutex<HashMap<SubKey, Arc<SubEntry>>>>,
-    memo: Vec<Mutex<HashMap<MemoKey, Arc<MemoEntry>>>>,
+    sub: Vec<Mutex<FxHashMap<SubKey, Arc<SubEntry>>>>,
+    memo: Vec<Mutex<FxHashMap<MemoKey, Arc<MemoEntry>>>>,
 }
 
 impl SharedTables {
     /// Creates empty shared tables.
     pub(crate) fn new() -> Self {
         SharedTables {
-            sub: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            memo: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            sub: (0..SHARDS).map(|_| Mutex::default()).collect(),
+            memo: (0..SHARDS).map(|_| Mutex::default()).collect(),
         }
     }
 }
@@ -273,8 +340,8 @@ fn shard_of(fp: u64) -> usize {
 /// for a heavy root.
 enum Tables {
     Local {
-        sub: HashMap<SubKey, Arc<SubEntry>>,
-        memo: HashMap<MemoKey, Arc<MemoEntry>>,
+        sub: FxHashMap<SubKey, Arc<SubEntry>>,
+        memo: FxHashMap<MemoKey, Arc<MemoEntry>>,
     },
     Shared(Arc<SharedTables>),
 }
@@ -288,14 +355,19 @@ pub struct Explorer<'a> {
 
     graph: AliasGraph,
     states: StateTable,
-    cond_defs: HashMap<VarId, PredDef>,
+    cond_defs: FxHashMap<VarId, PredDef>,
     cond_journal: Vec<(VarId, Option<PredDef>)>,
-    syms: HashMap<TrackKey, SymId>,
+    syms: FxHashMap<TrackKey, SymId>,
     sym_journal: Vec<(TrackKey, Option<SymId>)>,
     /// Function addresses pinned to alias sets along the current path
     /// (the §7 function-pointer extension; populated by `FuncAddr`).
-    fptrs: HashMap<TrackKey, FuncId>,
+    fptrs: FxHashMap<TrackKey, FuncId>,
     fptr_journal: Vec<(TrackKey, Option<FuncId>)>,
+    /// Journal of heap-object pushes (see [`HeapPush`]); gives the combined
+    /// mark a single O(1) length instead of a per-frame length vector.
+    heap_journal: Vec<HeapPush>,
+    /// Next frame serial (see [`Frame::serial`]).
+    frame_serial: u64,
     next_sym: u32,
     trace: Vec<Constraint>,
 
@@ -316,7 +388,7 @@ pub struct Explorer<'a> {
     root: FuncId,
     exhausted: bool,
     pending: Vec<PendingBug>,
-    seen: HashMap<(crate::checkers::BugKind, InstId, InstId), u8>,
+    seen: FxHashMap<(crate::checkers::BugKind, InstId, InstId), u8>,
     candidates: Vec<PossibleBug>,
     /// Counters for this root (merged by the driver).
     pub stats: AnalysisStats,
@@ -347,7 +419,47 @@ pub struct Explorer<'a> {
     /// Which budget tripped first ("max_insts" / "max_paths"), if any.
     budget_reason: Option<&'static str>,
     /// Cached per-function cyclic-block masks (see [`Explorer::cyclic_mask`]).
-    cyclic_masks: HashMap<FuncId, Arc<Vec<bool>>>,
+    cyclic_masks: FxHashMap<FuncId, Arc<Vec<bool>>>,
+    /// Reusable per-instruction alias-resolution scratch; cleared (keeping
+    /// its `Vec` capacity) instead of reallocated on every instruction.
+    info_scratch: UpdateInfo,
+    /// Runs the slow fingerprint fold against the incremental accumulators
+    /// at every block entry, independent of `debug_assert` — lets a release
+    /// -mode test exercise the cross-check (see `fingerprint_cross_check`).
+    verify_fp: bool,
+    /// Branch-fork telemetry (`driver.explore.fork.*`), tallied only when
+    /// telemetry is enabled.
+    fork_stats: ForkStats,
+}
+
+/// Branch-fork cost counters for one root, merged into the
+/// `driver.explore.fork.*` telemetry family by the driver. Kept out of
+/// [`AnalysisStats`] on purpose: fork cost depends on the CoW knob and the
+/// cache configuration, while `AnalysisStats` must stay bit-identical
+/// across all of them (the equivalence tests compare it directly).
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct ForkStats {
+    /// Branch arms explored through a state fork (mark/rollback or clone).
+    pub(crate) forks: u64,
+    /// Bytes materialized per fork: the fixed-size mark in CoW mode, the
+    /// deep-clone estimate in clone mode.
+    pub(crate) bytes_copied: u64,
+    /// Bytes left shared (journal-backed) at fork points in CoW mode.
+    pub(crate) bytes_shared: u64,
+    /// Deepest combined undo-journal length observed at a fork.
+    pub(crate) journal_depth_max: u64,
+    /// Largest live-state estimate observed at a fork.
+    pub(crate) live_bytes_max: u64,
+}
+
+impl ForkStats {
+    pub(crate) fn merge(&mut self, other: &ForkStats) {
+        self.forks += other.forks;
+        self.bytes_copied += other.bytes_copied;
+        self.bytes_shared += other.bytes_shared;
+        self.journal_depth_max = self.journal_depth_max.max(other.journal_depth_max);
+        self.live_bytes_max = self.live_bytes_max.max(other.live_bytes_max);
+    }
 }
 
 /// Labels for the `alias.op` telemetry counter, in `alias_ops` index order.
@@ -370,6 +482,8 @@ pub struct ExploreResult {
     /// whether the caches were disabled for the run that produced the
     /// verdicts).
     pub budget_note: Option<BudgetNote>,
+    /// Branch-fork cost counters (all zero unless telemetry is enabled).
+    pub(crate) fork_stats: ForkStats,
 }
 
 impl<'a> Explorer<'a> {
@@ -386,12 +500,14 @@ impl<'a> Explorer<'a> {
             checkers,
             graph: AliasGraph::new(),
             states: StateTable::new(),
-            cond_defs: HashMap::new(),
+            cond_defs: FxHashMap::default(),
             cond_journal: Vec::new(),
-            syms: HashMap::new(),
+            syms: FxHashMap::default(),
             sym_journal: Vec::new(),
-            fptrs: HashMap::new(),
+            fptrs: FxHashMap::default(),
             fptr_journal: Vec::new(),
+            heap_journal: Vec::new(),
+            frame_serial: 0,
             next_sym: 0,
             trace: Vec::new(),
             maps_fp: 0,
@@ -402,14 +518,14 @@ impl<'a> Explorer<'a> {
             root,
             exhausted: false,
             pending: Vec::new(),
-            seen: HashMap::new(),
+            seen: FxHashMap::default(),
             candidates: Vec::new(),
             stats: AnalysisStats::default(),
             tel_enabled: config.telemetry,
             alias_ops: [0; ALIAS_OP_NAMES.len()],
             tables: Tables::Local {
-                sub: HashMap::new(),
-                memo: HashMap::new(),
+                sub: FxHashMap::default(),
+                memo: FxHashMap::default(),
             },
             sub_recs: Vec::new(),
             memo_rec: None,
@@ -418,7 +534,10 @@ impl<'a> Explorer<'a> {
             discard: false,
             caches_off: false,
             budget_reason: None,
-            cyclic_masks: HashMap::new(),
+            cyclic_masks: FxHashMap::default(),
+            info_scratch: UpdateInfo::default(),
+            verify_fp: false,
+            fork_stats: ForkStats::default(),
         }
     }
 
@@ -452,10 +571,12 @@ impl<'a> Explorer<'a> {
         let (module, config, checkers, root) = (self.module, self.config, self.checkers, self.root);
         let caches_usable = !self.caches_off && (config.exploration_cache || config.callee_memo);
         let rerun_on_exhaustion = caches_usable && !self.discard;
+        let verify_fp = self.verify_fp;
         let result = self.run_root();
         if rerun_on_exhaustion && result.stats.budget_exhausted_roots > 0 {
             let mut fresh = Explorer::new(module, config, checkers, root);
             fresh.caches_off = true;
+            fresh.verify_fp = verify_fp;
             return fresh.run_root();
         }
         result
@@ -464,7 +585,8 @@ impl<'a> Explorer<'a> {
     fn run_root(mut self) -> ExploreResult {
         let nblocks = self.module.function(self.root).blocks().len();
         let cyclic = self.cyclic_mask(self.root);
-        self.push_frame(Frame::new(self.root, nblocks, cyclic, 0));
+        let frame = self.new_frame(self.root, nblocks, cyclic, 0);
+        self.push_frame(frame);
         self.call_stack.push(self.root);
         let entry = self.module.function(self.root).entry();
         let mut conts = Vec::new();
@@ -484,7 +606,21 @@ impl<'a> Explorer<'a> {
             stats: self.stats,
             alias_ops: self.alias_ops,
             budget_note,
+            fork_stats: self.fork_stats,
         }
+    }
+
+    /// Allocates a frame with a fresh serial (see [`Frame::serial`]).
+    fn new_frame(
+        &mut self,
+        func: FuncId,
+        block_count: usize,
+        cyclic: Arc<Vec<bool>>,
+        depth: usize,
+    ) -> Frame {
+        let serial = self.frame_serial;
+        self.frame_serial += 1;
+        Frame::new(func, serial, block_count, cyclic, depth)
     }
 
     /// Counts one alias-graph update of rule `op` (index into
@@ -511,7 +647,7 @@ impl<'a> Explorer<'a> {
             fptrs: self.fptr_journal.len(),
             next_sym: self.next_sym,
             trace: self.trace.len(),
-            heap_lens: self.frames.iter().map(|f| f.heap_objects.len()).collect(),
+            heap: self.heap_journal.len(),
         }
     }
 
@@ -532,12 +668,21 @@ impl<'a> Explorer<'a> {
         }
         self.next_sym = mark.next_sym;
         self.trace.truncate(mark.trace);
-        for (d, (frame, &len)) in self.frames.iter_mut().zip(&mark.heap_lens).enumerate() {
-            while frame.heap_objects.len() > len {
-                let h = frame.heap_objects.pop().unwrap();
-                let fact = heap_fact(d, frame.heap_objects.len(), &h);
-                frame.fp ^= fact;
-                self.frames_fp ^= fact;
+        while self.heap_journal.len() > mark.heap {
+            let e = self.heap_journal.pop().unwrap();
+            let d = e.depth as usize;
+            // An entry whose frame has since been discarded (a callee frame
+            // dropped at its call site, possibly with objects its dead-end
+            // paths never released) needs no undo: the frame's facts left
+            // `frames_fp` wholesale when the frame was popped. The serial
+            // distinguishes that case from the live frame now at depth `d`.
+            if let Some(frame) = self.frames.get_mut(d) {
+                if frame.serial == e.serial {
+                    let h = frame.heap_objects.pop().unwrap();
+                    let fact = heap_fact(d, frame.heap_objects.len(), &h);
+                    frame.fp ^= fact;
+                    self.frames_fp ^= fact;
+                }
             }
         }
     }
@@ -628,11 +773,17 @@ impl<'a> Explorer<'a> {
         }
     }
 
-    /// Appends a heap object to the top frame's ownership list.
+    /// Appends a heap object to the top frame's ownership list, journaling
+    /// the push so a later [`Explorer::full_rollback`] can undo it without
+    /// the mark having snapshotted any per-frame lengths.
     fn push_heap(&mut self, obj: HeapObject) {
         let d = self.frames.len() - 1;
         let frame = self.frames.last_mut().expect("frame");
         let fact = heap_fact(d, frame.heap_objects.len(), &obj);
+        self.heap_journal.push(HeapPush {
+            serial: frame.serial,
+            depth: d as u32,
+        });
         frame.heap_objects.push(obj);
         frame.fp ^= fact;
         self.frames_fp ^= fact;
@@ -812,7 +963,7 @@ impl<'a> Explorer<'a> {
     fn flush_pending(&mut self) {
         while let Some(pb) = self.pending.pop() {
             let alias_paths = self.render_alias_paths(pb.key);
-            self.emit_bug(pb, alias_paths, None);
+            self.emit_bug(Arc::new(pb), Arc::new(alias_paths), None);
         }
     }
 
@@ -825,10 +976,13 @@ impl<'a> Explorer<'a> {
     /// composes across nested recordings.
     fn emit_bug(
         &mut self,
-        pb: PendingBug,
-        alias_paths: Vec<String>,
+        pb: Arc<PendingBug>,
+        alias_paths: Arc<Vec<String>>,
         replay_suffix: Option<&[Constraint]>,
     ) {
+        // Every observing recorder shares the same bug body and rendered
+        // alias paths by refcount; only the constraint suffix (different
+        // per recorder entry point) is materialized per recorder.
         for rec in &mut self.sub_recs {
             if rec.poisoned {
                 continue;
@@ -842,8 +996,8 @@ impl<'a> Explorer<'a> {
                 suffix.extend_from_slice(s);
             }
             rec.events.push(RecordedBug {
-                pb: pb.clone(),
-                alias_paths: alias_paths.clone(),
+                pb: Arc::clone(&pb),
+                alias_paths: Arc::clone(&alias_paths),
                 suffix,
             });
         }
@@ -857,8 +1011,8 @@ impl<'a> Explorer<'a> {
                         suffix.extend_from_slice(s);
                     }
                     m.seg_events.push(RecordedBug {
-                        pb: pb.clone(),
-                        alias_paths: alias_paths.clone(),
+                        pb: Arc::clone(&pb),
+                        alias_paths: Arc::clone(&alias_paths),
                         suffix,
                     });
                 }
@@ -881,6 +1035,10 @@ impl<'a> Explorer<'a> {
         if let Some(s) = replay_suffix {
             constraints.extend_from_slice(s);
         }
+        // When no recorder kept a reference, unwrapping recovers the owned
+        // values without a deep clone.
+        let pb = Arc::try_unwrap(pb).unwrap_or_else(|a| (*a).clone());
+        let alias_paths = Arc::try_unwrap(alias_paths).unwrap_or_else(|a| (*a).clone());
         self.candidates
             .push(pb.into_possible(constraints, alias_paths, self.root));
     }
@@ -1163,8 +1321,12 @@ impl<'a> Explorer<'a> {
         }
         self.next_sym += entry.d_next_sym;
         for i in 0..entry.events.len() {
-            let ev = entry.events[i].clone();
-            self.emit_bug(ev.pb, ev.alias_paths, Some(&ev.suffix));
+            let RecordedBug {
+                pb,
+                alias_paths,
+                suffix,
+            } = entry.events[i].clone();
+            self.emit_bug(pb, alias_paths, Some(&suffix));
         }
     }
 
@@ -1204,6 +1366,22 @@ impl<'a> Explorer<'a> {
     fn exec_block(&mut self, func: FuncId, block: BlockId, conts: &mut Vec<Cont>) {
         if !self.budget_ok() {
             return;
+        }
+
+        // Fingerprint cross-check, active independent of `debug_assert` so
+        // a release-mode test can drive it (see `tests` below). The hot
+        // path pays one predicted branch.
+        if self.verify_fp {
+            let fast = self.graph.fingerprint()
+                ^ self.states.fingerprint()
+                ^ self.maps_fp
+                ^ self.frames_fp
+                ^ self.conts_fp;
+            assert_eq!(
+                fast,
+                self.slow_dyn_fp(conts),
+                "incremental fingerprint accumulators diverged from the slow fold"
+            );
         }
 
         // Subsumption: if this exact (block, state) was fully explored
@@ -1341,14 +1519,25 @@ impl<'a> Explorer<'a> {
                         }
                     }
                     any = true;
-                    let mark = self.full_mark();
-                    if let Some(p) = pred {
-                        self.assert_branch(p, taken, term_loc, term_id);
+                    let cow = self.config.cow_state;
+                    if self.tel_enabled {
+                        self.note_fork(cow);
                     }
-                    if !self.exhausted {
-                        self.exec_block(func, succ, conts);
+                    if cow {
+                        // Copy-on-write fork: a fixed-size mark; sibling
+                        // arms restore by journal rollback, O(changed).
+                        let mark = self.full_mark();
+                        self.run_branch_arm(pred, taken, term_loc, term_id, func, succ, conts);
+                        self.full_rollback(&mark);
+                    } else {
+                        // Literal COPY semantics (paper Fig. 7): deep-clone
+                        // the live state, restore by move-assignment. The
+                        // measured baseline and differential oracle for the
+                        // journaled mode.
+                        let snap = self.clone_snapshot();
+                        self.run_branch_arm(pred, taken, term_loc, term_id, func, succ, conts);
+                        self.restore_snapshot(snap);
                     }
-                    self.full_rollback(&mark);
                 }
                 self.fork_taken -= 1;
                 if !any {
@@ -1362,6 +1551,113 @@ impl<'a> Explorer<'a> {
                 self.path_end();
             }
         }
+    }
+
+    /// One branch successor: assert the effective predicate, then explore.
+    /// The caller brackets this with a fork (mark/rollback or clone/restore
+    /// depending on [`crate::AnalysisConfig::cow_state`]).
+    #[allow(clippy::too_many_arguments)]
+    fn run_branch_arm(
+        &mut self,
+        pred: Option<PredDef>,
+        taken: bool,
+        loc: Loc,
+        inst_id: InstId,
+        func: FuncId,
+        succ: BlockId,
+        conts: &mut Vec<Cont>,
+    ) {
+        if let Some(p) = pred {
+            self.assert_branch(p, taken, loc, inst_id);
+        }
+        if !self.exhausted {
+            self.exec_block(func, succ, conts);
+        }
+    }
+
+    /// Tallies one branch-arm fork into the `driver.explore.fork.*` family:
+    /// what this fork materializes (a fixed-size mark in CoW mode, a deep
+    /// clone otherwise), what stays shared, and the journal depth at the
+    /// fork point. Only called when telemetry is enabled.
+    fn note_fork(&mut self, cow: bool) {
+        let journal_depth = (self.graph.journal_len()
+            + self.states.journal_len()
+            + self.cond_journal.len()
+            + self.sym_journal.len()
+            + self.fptr_journal.len()
+            + self.heap_journal.len()) as u64;
+        let live = self.live_bytes_estimate();
+        let copied = if cow {
+            std::mem::size_of::<FullMark>() as u64
+        } else {
+            live
+        };
+        let fs = &mut self.fork_stats;
+        fs.forks += 1;
+        fs.bytes_copied += copied;
+        if cow {
+            fs.bytes_shared += live;
+        }
+        fs.journal_depth_max = fs.journal_depth_max.max(journal_depth);
+        fs.live_bytes_max = fs.live_bytes_max.max(live);
+    }
+
+    /// Estimate of the live path-state heap bytes a clone-based fork copies.
+    /// Everything but the per-frame walk (bounded by call depth) is O(1).
+    fn live_bytes_estimate(&self) -> u64 {
+        use std::mem::size_of;
+        self.graph.approx_bytes()
+            + self.states.approx_bytes()
+            + (self.cond_defs.len() * size_of::<(VarId, PredDef)>()) as u64
+            + (self.cond_journal.len() * size_of::<(VarId, Option<PredDef>)>()) as u64
+            + (self.syms.len() * size_of::<(TrackKey, SymId)>()) as u64
+            + (self.sym_journal.len() * size_of::<(TrackKey, Option<SymId>)>()) as u64
+            + (self.fptrs.len() * size_of::<(TrackKey, FuncId)>()) as u64
+            + (self.fptr_journal.len() * size_of::<(TrackKey, Option<FuncId>)>()) as u64
+            + (self.heap_journal.len() * size_of::<HeapPush>()) as u64
+            + (self.trace.len() * size_of::<Constraint>()) as u64
+            + (self.frames.len() * size_of::<Frame>()) as u64
+            + self.frames.iter().map(Frame::approx_bytes).sum::<u64>()
+    }
+
+    /// Deep-copies every forkable structure (clone-fork mode).
+    fn clone_snapshot(&self) -> CloneSnapshot {
+        CloneSnapshot {
+            graph: self.graph.clone(),
+            states: self.states.clone(),
+            cond_defs: self.cond_defs.clone(),
+            cond_journal: self.cond_journal.clone(),
+            syms: self.syms.clone(),
+            sym_journal: self.sym_journal.clone(),
+            fptrs: self.fptrs.clone(),
+            fptr_journal: self.fptr_journal.clone(),
+            heap_journal: self.heap_journal.clone(),
+            next_sym: self.next_sym,
+            trace: self.trace.clone(),
+            frames: self.frames.clone(),
+            maps_fp: self.maps_fp,
+            frames_fp: self.frames_fp,
+        }
+    }
+
+    /// Restores a clone-fork snapshot by move-assignment. Journals are
+    /// restored to their fork-time prefixes, so marks held by recorders
+    /// opened before the fork stay valid, exactly as under rollback.
+    fn restore_snapshot(&mut self, snap: CloneSnapshot) {
+        self.graph = snap.graph;
+        self.states = snap.states;
+        self.cond_defs = snap.cond_defs;
+        self.cond_journal = snap.cond_journal;
+        self.syms = snap.syms;
+        self.sym_journal = snap.sym_journal;
+        self.fptrs = snap.fptrs;
+        self.fptr_journal = snap.fptr_journal;
+        self.heap_journal = snap.heap_journal;
+        self.next_sym = snap.next_sym;
+        self.trace = snap.trace;
+        self.frames = snap.frames;
+        self.maps_fp = snap.maps_fp;
+        self.frames_fp = snap.frames_fp;
     }
 
     fn assert_branch(&mut self, p: PredDef, taken: bool, loc: Loc, inst_id: InstId) {
@@ -1543,21 +1839,21 @@ impl<'a> Explorer<'a> {
             // their *current* values (rollbacks between return paths pop
             // their journal entries, so the suffix is pollution-free).
             let mut cond_delta = Vec::new();
-            let mut cond_seen = HashMap::new();
+            let mut cond_seen = FxHashMap::default();
             for (v, _) in &self.cond_journal[m.entry_mark.conds..] {
                 if cond_seen.insert(*v, ()).is_none() {
                     cond_delta.push((*v, self.cond_defs.get(v).copied()));
                 }
             }
             let mut sym_delta = Vec::new();
-            let mut sym_seen = HashMap::new();
+            let mut sym_seen = FxHashMap::default();
             for (k, _) in &self.sym_journal[m.entry_mark.syms..] {
                 if sym_seen.insert(*k, ()).is_none() {
                     sym_delta.push((*k, self.syms.get(k).copied()));
                 }
             }
             let mut fptr_delta = Vec::new();
-            let mut fptr_seen = HashMap::new();
+            let mut fptr_seen = FxHashMap::default();
             for (k, _) in &self.fptr_journal[m.entry_mark.fptrs..] {
                 if fptr_seen.insert(*k, ()).is_none() {
                     fptr_delta.push((*k, self.fptrs.get(k).copied()));
@@ -1663,8 +1959,12 @@ impl<'a> Explorer<'a> {
                 *a += d;
             }
             for i in 0..seg.events.len() {
-                let ev = seg.events[i].clone();
-                self.emit_bug(ev.pb, ev.alias_paths, Some(&ev.suffix));
+                let RecordedBug {
+                    pb,
+                    alias_paths,
+                    suffix,
+                } = seg.events[i].clone();
+                self.emit_bug(pb, alias_paths, Some(&suffix));
             }
             self.trace.extend_from_slice(&seg.trace_suffix);
             if let Some((value, rloc, rid)) = seg.ret {
@@ -1750,10 +2050,18 @@ impl<'a> Explorer<'a> {
         inst: &Inst,
         conts: &mut Vec<Cont>,
     ) -> Flow {
-        use crate::typestate::UpdateInfo;
         let loc = inst.loc;
         let alias = self.config.alias_mode == AliasMode::PathBased;
-        let mut info = UpdateInfo::default();
+        // Calls carry their own scratch discipline (checker dispatch happens
+        // before recursing into the callee); delegate before borrowing ours.
+        if let InstKind::Call { dst, callee, args } = &inst.kind {
+            return self.apply_call(func, inst_id, loc, *dst, *callee, args, &inst.kind, conts);
+        }
+        // Reuse one scratch `UpdateInfo` per explorer: `clear` keeps the
+        // `use_keys`/`escape_keys` capacity, removing an alloc/free pair
+        // from every instruction step.
+        let mut info = std::mem::take(&mut self.info_scratch);
+        info.clear();
         match &inst.kind {
             InstKind::Move { dst, src } => {
                 info.use_keys.push((*src, self.key_of(*src)));
@@ -1936,9 +2244,7 @@ impl<'a> Explorer<'a> {
                     info.dst_key = Some(TrackKey::Var(*dst));
                 }
             }
-            InstKind::Call { dst, callee, args } => {
-                return self.apply_call(func, inst_id, loc, *dst, *callee, args, conts);
-            }
+            InstKind::Call { .. } => unreachable!("calls are delegated before the scratch borrow"),
             InstKind::FuncAddr { dst, func: target } => {
                 self.na_clear_def(*dst);
                 let key = if alias {
@@ -1983,6 +2289,7 @@ impl<'a> Explorer<'a> {
             }
         }
         self.run_checkers_inst(&inst.kind, &info, loc, inst_id);
+        self.info_scratch = info;
         Flow::Continue
     }
 
@@ -1995,10 +2302,11 @@ impl<'a> Explorer<'a> {
         dst: Option<VarId>,
         callee: Callee,
         args: &[Operand],
+        kind: &InstKind,
         conts: &mut Vec<Cont>,
     ) -> Flow {
-        use crate::typestate::UpdateInfo;
-        let mut info = UpdateInfo::default();
+        let mut info = std::mem::take(&mut self.info_scratch);
+        info.clear();
         for a in args {
             if let Operand::Var(v) = a {
                 info.use_keys.push((*v, self.key_of(*v)));
@@ -2047,23 +2355,18 @@ impl<'a> Explorer<'a> {
                 };
                 info.dst_key = Some(key);
             }
-            let kind = InstKind::Call {
-                dst,
-                callee,
-                args: args.to_vec(),
-            };
-            self.run_checkers_inst(&kind, &info, loc, inst_id);
+            // Dispatch on the original instruction — no rebuilt `InstKind`
+            // (the old path cloned the argument vector just to hand the
+            // checkers a value identical to `kind`).
+            self.run_checkers_inst(kind, &info, loc, inst_id);
+            self.info_scratch = info;
             return Flow::Continue;
         }
 
         let f = inline_target.unwrap();
         // Report uses (e.g. passing an uninitialized value) before binding.
-        let kind = InstKind::Call {
-            dst,
-            callee,
-            args: args.to_vec(),
-        };
-        self.run_checkers_inst(&kind, &info, loc, inst_id);
+        self.run_checkers_inst(kind, &info, loc, inst_id);
+        self.info_scratch = info;
 
         // Callee-summary cache: the memoized span runs from parameter
         // binding through the callee's whole exploration (the call-site
@@ -2104,7 +2407,10 @@ impl<'a> Explorer<'a> {
         }
 
         // HandleCALL (Fig. 6): parameter passing is a sequence of MOVEs.
-        let params: Vec<VarId> = self.module.function(f).params().to_vec();
+        // Borrowed straight from the module (its lifetime outlives `self`
+        // borrows) — the old copy into a fresh `Vec` was pure churn.
+        let module: &Module = self.module;
+        let params: &[VarId] = module.function(f).params();
         for (i, &param) in params.iter().enumerate() {
             let arg = args
                 .get(i)
@@ -2126,7 +2432,8 @@ impl<'a> Explorer<'a> {
         let nblocks = self.module.function(f).blocks().len();
         let cyclic = self.cyclic_mask(f);
         let depth = self.frames.len();
-        self.push_frame(Frame::new(f, nblocks, cyclic, depth));
+        let frame = self.new_frame(f, nblocks, cyclic, depth);
+        self.push_frame(frame);
         let entry = self.module.function(f).entry();
         self.exec_block(f, entry, conts);
         self.pop_frame();
@@ -2242,5 +2549,132 @@ fn bin_term(op: pata_ir::BinOp, lhs: Term, rhs: Term) -> Term {
         B::Xor => Term::opaque(O::Xor, lhs, rhs),
         B::Shl => Term::opaque(O::Shl, lhs, rhs),
         B::Shr => Term::opaque(O::Shr, lhs, rhs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AnalysisConfig;
+
+    /// Forked diamonds with a helper call, a loop, heap traffic and real
+    /// bugs on some paths: every fingerprint domain (graph, states,
+    /// cond/sym/fptr maps, frames, visit counts, heap objects,
+    /// continuations) is exercised, and both fork directions carry
+    /// different state.
+    const DIAMOND_SRC: &str = r#"
+        struct pkt { int len; int mode; int *payload; };
+
+        static int clamp(int n) {
+            if (n > 8) { n = 8; }
+            if (n < 0) { n = 0; }
+            return n;
+        }
+
+        static int drain(struct pkt *p) {
+            int total = 0;
+            int i = 0;
+            while (i < 3) {
+                if (p->mode > 0) { total = total + clamp(i); } else { total = total - 1; }
+                i = i + 1;
+            }
+            if (p->payload == NULL) { log_warn("drain"); }
+            return *p->payload + total;
+        }
+
+        static int route(struct pkt *p) {
+            int *scratch = malloc(32);
+            int acc = 0;
+            if (p->len > 0) { acc = clamp(p->len); } else { acc = 1; }
+            if (p->mode > 1) { acc = acc + drain(p); } else { acc = acc + 2; }
+            if (acc > 4) {
+                return acc;
+            }
+            free(scratch);
+            return 0;
+        }
+
+        void pkt_entry(struct pkt *p) {
+            int r = 0;
+            if (p == NULL) { return; }
+            r = route(p);
+            if (r < 0) { log_warn("entry"); }
+        }
+    "#;
+
+    fn explore_all(config: &AnalysisConfig, verify_fp: bool) -> (usize, u64, ForkStats) {
+        let mut module = pata_cc::compile_one("d.c", DIAMOND_SRC).unwrap();
+        let checkers: Vec<Box<dyn Checker>> =
+            config.checkers.iter().map(|k| k.instantiate()).collect();
+        let roots = crate::collector::mark_interfaces(&mut module);
+        assert!(!roots.is_empty());
+        let mut candidates = 0;
+        let mut paths = 0;
+        let mut forks = ForkStats::default();
+        for root in roots {
+            let mut ex = Explorer::new(&module, config, &checkers, root);
+            ex.verify_fp = verify_fp;
+            let result = ex.explore();
+            candidates += result.candidates.len();
+            paths += result.stats.paths_explored;
+            forks.merge(&result.fork_stats);
+        }
+        (candidates, paths, forks)
+    }
+
+    /// Satellite of the CoW PR: the fingerprint accumulator cross-check
+    /// promoted from `debug_assert` to a real test that runs the slow fold
+    /// against the incremental value at every block entry — including in
+    /// release mode, where `debug_assert` compiles out (CI runs this test
+    /// under `--release` explicitly).
+    #[test]
+    fn fingerprint_accumulators_match_slow_fold_over_forked_diamonds() {
+        let config = AnalysisConfig::default();
+        let (candidates, paths, _) = explore_all(&config, true);
+        assert!(paths > 8, "diamond corpus should fork: {paths} paths");
+        assert!(candidates > 0, "corpus should produce candidate bugs");
+
+        // Same cross-check under clone-based forking: the restore path
+        // must leave the accumulators exactly where rollback would.
+        let clone_config = AnalysisConfig {
+            cow_state: false,
+            ..AnalysisConfig::default()
+        };
+        let (c2, p2, _) = explore_all(&clone_config, true);
+        assert_eq!((candidates, paths), (c2, p2));
+    }
+
+    /// CoW and clone forking are observationally identical, and the fork
+    /// telemetry sees CoW copy fixed-size marks while clone mode copies
+    /// the (larger) live state.
+    #[test]
+    fn cow_and_clone_forking_agree_and_fork_costs_differ() {
+        let cow = AnalysisConfig {
+            telemetry: true,
+            ..AnalysisConfig::default()
+        };
+        let clone = AnalysisConfig {
+            telemetry: true,
+            cow_state: false,
+            ..AnalysisConfig::default()
+        };
+        let (c1, p1, f1) = explore_all(&cow, false);
+        let (c2, p2, f2) = explore_all(&clone, false);
+        assert_eq!((c1, p1), (c2, p2));
+        assert_eq!(f1.forks, f2.forks, "same branches explored");
+        assert!(f1.forks > 0);
+        assert_eq!(
+            f1.bytes_copied,
+            f1.forks * std::mem::size_of::<FullMark>() as u64,
+            "CoW forks copy exactly one fixed-size mark each"
+        );
+        assert!(
+            f2.bytes_copied > f1.bytes_copied,
+            "clone forks copy the live state: {} vs {}",
+            f2.bytes_copied,
+            f1.bytes_copied
+        );
+        assert!(f1.bytes_shared > 0);
+        assert_eq!(f2.bytes_shared, 0);
     }
 }

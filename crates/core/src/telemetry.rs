@@ -526,9 +526,28 @@ impl TelemetrySnapshot {
             .collect();
         roots.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
         if !roots.is_empty() {
-            let _ = writeln!(out, "top {} slowest roots", top_n.min(roots.len()));
+            let labeled_counter = |name: &str, label: &str| match self.get(name, Some(label)) {
+                Some(Metric::Counter(c)) => *c,
+                _ => 0,
+            };
+            let _ = writeln!(
+                out,
+                "top {} slowest roots ({:<28} {:>12} {:>8} {:>10})",
+                top_n.min(roots.len()),
+                "root",
+                "time",
+                "forks",
+                "copied"
+            );
             for (name, ns) in roots.iter().take(top_n) {
-                let _ = writeln!(out, "  {name:<28} {:>12}", fmt_ns(*ns));
+                let forks = labeled_counter("driver.explore.fork.forks", name);
+                let copied = labeled_counter("driver.explore.fork.bytes_copied", name);
+                let _ = writeln!(
+                    out,
+                    "  {name:<28} {:>12} {forks:>8} {:>10}",
+                    fmt_ns(*ns),
+                    fmt_bytes(copied)
+                );
             }
         }
 
@@ -568,6 +587,23 @@ impl TelemetrySnapshot {
             self.counter("typestate.transitions"),
             self.counter("constraints.emitted")
         );
+        // Branch-fork costs (copy-on-write path state).
+        let forks = self.counter_sum("driver.explore.fork.forks");
+        if forks > 0 {
+            let _ = writeln!(
+                out,
+                "forks: {forks} state forks, {} copied / {} shared, \
+                 journal depth max {}, live state max {}",
+                fmt_bytes(self.counter_sum("driver.explore.fork.bytes_copied")),
+                fmt_bytes(self.counter("driver.explore.fork.bytes_shared")),
+                self.gauge("driver.explore.fork.journal_depth.max")
+                    .unwrap_or(0),
+                fmt_bytes(
+                    self.gauge("driver.explore.fork.live_bytes.max")
+                        .unwrap_or(0) as u64
+                )
+            );
+        }
         if let Some(threads) = self.gauge("driver.threads") {
             let _ = writeln!(
                 out,
@@ -576,6 +612,19 @@ impl TelemetrySnapshot {
             );
         }
         out
+    }
+}
+
+/// Formats a byte count human-readably (B/KiB/MiB/GiB).
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2}GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.2}MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.2}KiB", b as f64 / (1u64 << 10) as f64)
+    } else {
+        format!("{b}B")
     }
 }
 

@@ -10,11 +10,10 @@
 use crate::alias::NodeId;
 use crate::checkers::BugKind;
 use crate::config::AliasMode;
-use crate::fingerprint::{hash4, TAG_STATE};
+use crate::fingerprint::{hash4, FxHashMap, TAG_STATE};
 use crate::report::PossibleBug;
 use crate::stats::AnalysisStats;
 use pata_ir::{InstId, Loc, VarId};
-use std::collections::HashMap;
 
 /// What a typestate (or SMT symbol) is attached to.
 ///
@@ -48,9 +47,9 @@ pub struct StateEntry {
 ///
 /// Mirrors [`crate::alias::AliasGraph`]'s mark/rollback protocol so the path
 /// explorer can backtrack states and alias information in lockstep.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct StateTable {
-    map: HashMap<(u8, TrackKey), StateEntry>,
+    map: FxHashMap<(u8, TrackKey), StateEntry>,
     journal: Vec<StateOp>,
     /// Incremental XOR fingerprint over live entries (see
     /// [`crate::fingerprint`]).
@@ -158,6 +157,18 @@ impl StateTable {
     /// Number of live state entries.
     pub fn len(&self) -> usize {
         self.map.len()
+    }
+
+    /// Journal length (undo depth since the table was created).
+    pub(crate) fn journal_len(&self) -> usize {
+        self.journal.len()
+    }
+
+    /// O(1) estimate of the heap bytes a deep clone of this table copies.
+    pub(crate) fn approx_bytes(&self) -> u64 {
+        let entry = std::mem::size_of::<((u8, TrackKey), StateEntry)>() as u64;
+        let op = std::mem::size_of::<StateOp>() as u64;
+        self.map.len() as u64 * entry + self.journal.len() as u64 * op
     }
 
     /// Whether no states are tracked.
@@ -288,6 +299,28 @@ pub struct UpdateInfo {
     pub free_key: Option<TrackKey>,
     /// Key of the lock object in `LOCK`/`UNLOCK`.
     pub lock_key: Option<TrackKey>,
+}
+
+impl UpdateInfo {
+    /// Resets all fields while keeping the `Vec` allocations, so the
+    /// explorer can reuse one scratch `UpdateInfo` per step instead of
+    /// allocating a fresh one per instruction.
+    pub fn clear(&mut self) {
+        self.dst_key = None;
+        self.move_pair = None;
+        self.deref_key = None;
+        self.store_old_target = None;
+        self.stored_val_key = None;
+        self.stored_const = None;
+        self.use_keys.clear();
+        self.divisor_key = None;
+        self.divisor_const = None;
+        self.index_key = None;
+        self.index_const = None;
+        self.escape_keys.clear();
+        self.free_key = None;
+        self.lock_key = None;
+    }
 }
 
 /// One heap allocation recorded in a function frame (for end-of-frame leak

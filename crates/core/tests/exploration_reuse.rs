@@ -169,6 +169,38 @@ fn all_checkers_stay_equivalent() {
     assert_eq!(on.stats.insts_processed, off.stats.insts_processed);
 }
 
+/// The fork representation (copy-on-write undo journal vs literal clone,
+/// the `cow_state` knob) must be invisible in every observable output,
+/// whatever the cache configuration or thread count.
+#[test]
+fn cow_state_is_observationally_equivalent() {
+    let mk = |cow: bool, caches: bool, threads: usize| {
+        let config = AnalysisConfig::builder()
+            .threads(threads)
+            .cow_state(cow)
+            .exploration_cache(caches)
+            .callee_memo(caches)
+            .build()
+            .unwrap();
+        AnalysisSession::new(config).analyze_module(module())
+    };
+    let base = mk(true, false, 1);
+    for cow in [true, false] {
+        for caches in [true, false] {
+            for threads in [1usize, 2, 4] {
+                let o = mk(cow, caches, threads);
+                assert_eq!(
+                    report_json(&o),
+                    report_json(&base),
+                    "cow {cow}, caches {caches}, threads {threads}"
+                );
+                assert_eq!(o.stats.paths_explored, base.stats.paths_explored);
+                assert_eq!(o.stats.insts_processed, base.stats.insts_processed);
+            }
+        }
+    }
+}
+
 /// A loop body re-enters its header block with a *different* fingerprint
 /// each iteration (the visit count of a cyclic block is part of the key),
 /// so subsumption never short-circuits the loop cut: with caches on, a

@@ -17,17 +17,33 @@ cargo build --release
 echo "== cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "== cargo test -q --release -p pata-core --lib (fingerprint cross-check)"
+# The forked-diamond fingerprint tests compare the incremental accumulators
+# against the slow fold with `verify_fp` — run them in release too, where
+# debug_assert-based checking is compiled out.
+cargo test -q --release -p pata-core --lib
+
 echo "== cargo doc --no-deps"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 
 echo "== telemetry overhead bench (smoke)"
 cargo bench -p pata-bench --bench telemetry_overhead -- --smoke
 
-echo "== exploration reuse bench (smoke)"
+echo "== exploration reuse + copy-on-write fork bench (smoke)"
+# Enforces both stage-1 gates: caches cut live DFS steps by ≥30%, and
+# copy-on-write forking delivers ≥2x the live-step throughput of the
+# clone-based baseline — with report byte-identity asserted across caches
+# on/off, cow on/off, and threads 1/2/4.
 cargo bench -p pata-bench --bench exploration -- --smoke
 
 echo "== persistence bench (smoke)"
 cargo bench -p pata-bench --bench persistence -- --smoke
+
+echo "== stage-1 bench summary (results/BENCH_stage1.json)"
+# The smoke benches above just rewrote their sections; print the headline
+# per-stage numbers on one line each.
+grep -E '"(exploration|persistence)":' results/BENCH_stage1.json \
+    || { echo "BENCH_stage1.json missing expected sections"; exit 1; }
 
 echo "== stage timing summary"
 # One-line per-stage wall-clock breakdown from the --stats-json telemetry

@@ -92,6 +92,8 @@ analysis knobs (analyze and serve):
   --no-exploration-cache  disable stage-1 fingerprint subsumption reuse
   --no-callee-memo        disable the callee summary memo
   --fork-depth N          depth of speculative exploration forks (default 2)
+  --no-cow-state          fork branch state by deep clone instead of the
+                          copy-on-write undo journal (differential oracle)
 
 persistence:
   --store PATH            versioned on-disk store for warm restarts; loads
@@ -127,6 +129,7 @@ const CONFIG_FLAGS: &[(&str, bool)] = &[
     ("no-exploration-cache", false),
     ("no-callee-memo", false),
     ("fork-depth", true),
+    ("no-cow-state", false),
 ];
 
 const ANALYZE_FLAGS: &[(&str, bool)] = &[
@@ -247,6 +250,9 @@ fn build_config(
             n.parse()
                 .map_err(|_| format!("bad --fork-depth value `{n}`"))?,
         );
+    }
+    if flag(flags, "no-cow-state").is_some() {
+        builder = builder.cow_state(false);
     }
     builder
         .build()
