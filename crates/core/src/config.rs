@@ -7,7 +7,9 @@
 //! deprecated shims.
 
 use crate::checkers::BugKind;
+use crate::faultinject::FaultPlan;
 use std::fmt;
+use std::sync::Arc;
 
 /// How alias relationships are computed during typestate analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -113,6 +115,24 @@ pub struct AnalysisConfig {
     /// `driver.explore.fork.*` cost telemetry. Disable with
     /// `--no-cow-state` to measure.
     pub cow_state: bool,
+    /// Per-root wall-clock deadline in milliseconds, checked at branch fork
+    /// points. `0` disables the deadline. A root that exceeds it is demoted
+    /// to a bounded cache-free re-run and, failing that, quarantined into
+    /// the report's `degraded` section (DESIGN.md "Fault containment").
+    /// Wall-clock trips are inherently environment-dependent; the
+    /// byte-identity contract covers injected `deadline` faults.
+    pub root_deadline_ms: u64,
+    /// Per-root ceiling on the live path-state size estimate in bytes
+    /// (the PR 5 `driver.explore.fork.live_bytes` gauge), checked at branch
+    /// fork points. `0` disables the ceiling. Exceeding it follows the same
+    /// demote-then-quarantine ladder as the deadline. The estimate depends
+    /// on the copy-on-write mode, so real trips are config-dependent; the
+    /// byte-identity contract covers injected `live_bytes` faults.
+    pub max_live_bytes: u64,
+    /// Deterministic fault-injection plan for tests and benches
+    /// ([`crate::faultinject`]). `None` — the default and the production
+    /// path — injects nothing and costs one pointer check per site.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for AnalysisConfig {
@@ -134,6 +154,9 @@ impl Default for AnalysisConfig {
             callee_memo: true,
             fork_depth: 2,
             cow_state: true,
+            root_deadline_ms: 0,
+            max_live_bytes: 0,
+            fault_plan: None,
         }
     }
 }
@@ -330,6 +353,24 @@ impl AnalysisConfigBuilder {
         self
     }
 
+    /// Sets the per-root wall-clock deadline in milliseconds (0 = off).
+    pub fn root_deadline_ms(mut self, ms: u64) -> Self {
+        self.config.root_deadline_ms = ms;
+        self
+    }
+
+    /// Sets the per-root live-bytes ceiling (0 = off).
+    pub fn max_live_bytes(mut self, bytes: u64) -> Self {
+        self.config.max_live_bytes = bytes;
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan for the run.
+    pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.config.fault_plan = Some(plan);
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<AnalysisConfig, ConfigError> {
         let c = &self.config;
@@ -437,6 +478,24 @@ mod tests {
         assert!(!c.validation_cache);
         assert!(c.resolve_fptrs);
         assert!(c.telemetry);
+    }
+
+    #[test]
+    fn builder_fault_containment_knobs_apply() {
+        let plan = Arc::new(FaultPlan::parse("explore:probe_a@1").unwrap());
+        let c = AnalysisConfig::builder()
+            .root_deadline_ms(250)
+            .max_live_bytes(1 << 20)
+            .fault_plan(Arc::clone(&plan))
+            .build()
+            .unwrap();
+        assert_eq!(c.root_deadline_ms, 250);
+        assert_eq!(c.max_live_bytes, 1 << 20);
+        assert_eq!(c.fault_plan.unwrap().spec(), "explore:probe_a@1");
+        let d = AnalysisConfig::default();
+        assert_eq!(d.root_deadline_ms, 0);
+        assert_eq!(d.max_live_bytes, 0);
+        assert!(d.fault_plan.is_none());
     }
 
     #[test]

@@ -6,17 +6,18 @@
 use crate::collector;
 use crate::config::AnalysisConfig;
 use crate::filter;
-use crate::path::{Explorer, ForkStats, SharedTables};
+use crate::path::{ExploreResult, Explorer, ForkStats, SharedTables};
 use crate::registry::CheckerRegistry;
-use crate::report::{BugReport, PossibleBug};
+use crate::report::{BugReport, DegradedRoot, PossibleBug};
 use crate::stats::{AnalysisStats, BudgetNote};
 use crate::telemetry::{Span, Telemetry, TelemetrySink, TelemetrySnapshot};
 use crate::typestate::Checker;
 use crate::validate::ValidationCache;
 use pata_ir::{FuncId, Module};
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 /// The result of a full PATA run.
@@ -38,6 +39,37 @@ pub struct AnalysisOutcome {
     /// `max_insts`/`max_paths`, and whether their verdicts come from the
     /// deterministic cache-free re-run. Empty when no root was truncated.
     pub budget_notes: Vec<BudgetNote>,
+    /// Roots the fault-containment ladder quarantined or demoted, sorted by
+    /// `(root, stage)`. Empty on a healthy run.
+    pub degraded: Vec<DegradedRoot>,
+}
+
+/// A root the fault-containment ladder could not complete normally: the
+/// structured record of a quarantine (panic caught) or demotion (resource
+/// budget tripped, bounded re-run kept). Stats from a quarantined attempt
+/// are dropped entirely — partial progress varies with the cache and
+/// thread configuration, while the failure record itself is deterministic.
+#[derive(Debug, Clone)]
+pub(crate) struct RootFailure {
+    /// Root function name.
+    pub(crate) root: String,
+    /// Pipeline stage where the fault hit (`"explore"`).
+    pub(crate) stage: &'static str,
+    /// The panic payload (quarantine) or tripped budget (demotion).
+    pub(crate) reason: String,
+    /// `"quarantined"` or `"demoted"`.
+    pub(crate) action: &'static str,
+}
+
+impl RootFailure {
+    pub(crate) fn to_degraded(&self) -> DegradedRoot {
+        DegradedRoot {
+            root: self.root.clone(),
+            stage: self.stage.to_string(),
+            reason: self.reason.clone(),
+            action: self.action.to_string(),
+        }
+    }
 }
 
 /// One root's exploration result — the per-root granularity the session
@@ -54,6 +86,10 @@ pub(crate) struct RootRun {
     pub(crate) stats: AnalysisStats,
     /// Budget-exhaustion note, if the root was truncated.
     pub(crate) note: Option<BudgetNote>,
+    /// Set when the fault-containment ladder intervened: `"quarantined"`
+    /// (candidates empty, verdicts absent) or `"demoted"` (candidates from
+    /// the bounded re-run).
+    pub(crate) failure: Option<RootFailure>,
 }
 
 /// The PATA analysis engine.
@@ -183,7 +219,8 @@ impl Pata {
             loc_analyzed: module.total_loc(),
             ..AnalysisStats::default()
         };
-        let (candidates, budget_notes) = self.run_roots(&module, checkers, &roots, &mut stats);
+        let (candidates, budget_notes, mut degraded) =
+            self.run_roots(&module, checkers, &roots, &mut stats);
         if tel_on {
             self.telemetry.record_direct(|sink| span.finish(sink));
         }
@@ -202,6 +239,8 @@ impl Pata {
         if tel_on {
             self.telemetry.record_direct(|sink| span.finish(sink));
         }
+        degraded.extend(result.failures);
+        degraded.sort();
         stats.time = start.elapsed();
         AnalysisOutcome {
             reports: result.reports,
@@ -210,6 +249,7 @@ impl Pata {
             module,
             telemetry: self.telemetry.snapshot(),
             budget_notes,
+            degraded,
         }
     }
 
@@ -233,7 +273,8 @@ impl Pata {
             loc_analyzed: module.total_loc(),
             ..AnalysisStats::default()
         };
-        let (candidates, _notes) = self.run_roots(&module, &checkers, &roots, &mut stats);
+        let (candidates, _notes, _degraded) =
+            self.run_roots(&module, &checkers, &roots, &mut stats);
         (module, candidates, stats)
     }
 
@@ -243,15 +284,17 @@ impl Pata {
         checkers: &[Box<dyn Checker>],
         roots: &[FuncId],
         stats: &mut AnalysisStats,
-    ) -> (Vec<PossibleBug>, Vec<BudgetNote>) {
+    ) -> (Vec<PossibleBug>, Vec<BudgetNote>, Vec<DegradedRoot>) {
         let runs = self.explore_roots(module, checkers, roots, stats);
         let mut all = Vec::new();
         let mut notes = Vec::new();
+        let mut degraded = Vec::new();
         for run in runs {
             all.extend(run.candidates);
             notes.extend(run.note);
+            degraded.extend(run.failure.as_ref().map(RootFailure::to_degraded));
         }
-        (all, notes)
+        (all, notes, degraded)
     }
 
     /// Explores `roots` (any subset of the module's interface functions)
@@ -311,11 +354,19 @@ impl Pata {
                 let prefix = helper_prefix(j / roots.len(), fork_depth);
                 let config = &self.config;
                 scope.spawn(move || {
-                    let mut helper = Explorer::new(module, config, checkers, root);
-                    helper.use_shared_tables(shared_t);
-                    helper.set_fork_helper(prefix);
-                    // Candidates and stats are intentionally dropped.
-                    let _ = helper.explore();
+                    // `thread::scope` re-raises a spawned thread's panic at
+                    // the scope exit, which would defeat the per-root
+                    // quarantine — so a helper (which runs the same
+                    // arbitrary checker code as the owner, results
+                    // discarded) contains its own panics. The shared-table
+                    // shards tolerate the poisoned locks this can leave.
+                    let _ = catch_unwind(AssertUnwindSafe(|| {
+                        let mut helper = Explorer::new(module, config, checkers, root);
+                        helper.use_shared_tables(shared_t);
+                        helper.set_fork_helper(prefix);
+                        // Candidates and stats are intentionally dropped.
+                        let _ = helper.explore();
+                    }));
                 });
             }
             self.run_owners(module, checkers, roots, stats, threads, shared.as_ref())
@@ -352,11 +403,8 @@ impl Pata {
             let mut fork_total = ForkStats::default();
             for (i, &root) in roots.iter().enumerate() {
                 let span = Span::start(tel_on, "explore.root");
-                let mut explorer = Explorer::new(module, &self.config, checkers, root);
-                if let Some(t) = shared {
-                    explorer.use_shared_tables(Arc::clone(t));
-                }
-                let result = explorer.explore();
+                let (result, failure) =
+                    self.run_one_root(module, checkers, root, shared, &mut sink, tel_on);
                 if tel_on {
                     span.finish_labeled(&mut sink, Some(module.function(root).name().into()));
                     for (acc, n) in alias_ops.iter_mut().zip(result.alias_ops) {
@@ -375,6 +423,7 @@ impl Pata {
                     candidates: result.candidates,
                     stats: result.stats,
                     note: result.budget_note,
+                    failure,
                 });
             }
             if tel_on {
@@ -397,7 +446,7 @@ impl Pata {
         let queues: Vec<Mutex<VecDeque<usize>>> =
             (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
         for i in 0..roots.len() {
-            queues[i % threads].lock().unwrap().push_back(i);
+            lock_ok(queues[i % threads].lock()).push_back(i);
         }
         let steals = AtomicU64::new(0);
         let collected: Mutex<Vec<RootRun>> = Mutex::new(Vec::new());
@@ -414,11 +463,11 @@ impl Pata {
                     let mut alias_ops = [0u64; 7];
                     let mut fork_total = ForkStats::default();
                     loop {
-                        let mut task = queues[w].lock().unwrap().pop_front();
+                        let mut task = lock_ok(queues[w].lock()).pop_front();
                         if task.is_none() {
                             for off in 1..threads {
                                 let victim = (w + off) % threads;
-                                task = queues[victim].lock().unwrap().pop_back();
+                                task = lock_ok(queues[victim].lock()).pop_back();
                                 if task.is_some() {
                                     steals.fetch_add(1, Ordering::Relaxed);
                                     break;
@@ -427,11 +476,8 @@ impl Pata {
                         }
                         let Some(i) = task else { break };
                         let span = Span::start(tel_on, "explore.root");
-                        let mut explorer = Explorer::new(module, &self.config, checkers, roots[i]);
-                        if let Some(t) = shared {
-                            explorer.use_shared_tables(Arc::clone(t));
-                        }
-                        let result = explorer.explore();
+                        let (result, failure) = self
+                            .run_one_root(module, checkers, roots[i], shared, &mut sink, tel_on);
                         if tel_on {
                             span.finish_labeled(
                                 &mut sink,
@@ -447,11 +493,12 @@ impl Pata {
                             );
                             fork_total.merge(&result.fork_stats);
                         }
-                        collected.lock().unwrap().push(RootRun {
+                        lock_ok(collected.lock()).push(RootRun {
                             index: i,
                             candidates: result.candidates,
                             stats: result.stats,
                             note: result.budget_note,
+                            failure,
                         });
                     }
                     if tel_on {
@@ -465,7 +512,9 @@ impl Pata {
             }
         });
 
-        let mut per_root = collected.into_inner().unwrap();
+        let mut per_root = collected
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
         // Merge in root order regardless of which worker ran what — the
         // candidate stream (and so the final report set) is identical to a
         // single-threaded run.
@@ -482,6 +531,141 @@ impl Pata {
             });
         }
         per_root
+    }
+
+    /// Explores one root under the fault-containment ladder (DESIGN.md
+    /// "Fault containment & degraded reports"):
+    ///
+    /// 1. Full-budget attempt under `catch_unwind`. A panic — a misbehaving
+    ///    checker, an injected fault — **quarantines** the root: its partial
+    ///    results are dropped entirely (partial progress varies with the
+    ///    cache/thread configuration; a fixed empty result keeps reports and
+    ///    stats byte-identical) and a [`RootFailure`] records the payload.
+    /// 2. A `deadline` / `live_bytes` budget trip **demotes** the root to a
+    ///    bounded cache-free re-run (path/instruction budgets clamped, no
+    ///    shared tables) whose verdicts are kept, flagged `"demoted"`. The
+    ///    bounded budgets make the re-run deterministic and finite even
+    ///    though the original trip was time- or memory-driven.
+    /// 3. A demoted run that panics or trips a resource budget again is
+    ///    quarantined.
+    ///
+    /// Recovery telemetry (`driver.recover.*`) lands in the caller's worker
+    /// sink; the counters are exact across thread counts for a fixed fault
+    /// plan, like every other counter.
+    fn run_one_root(
+        &self,
+        module: &Module,
+        checkers: &[Box<dyn Checker>],
+        root: FuncId,
+        shared: Option<&Arc<SharedTables>>,
+        sink: &mut TelemetrySink,
+        tel_on: bool,
+    ) -> (ExploreResult, Option<RootFailure>) {
+        let name = module.function(root).name();
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            let mut explorer = Explorer::new(module, &self.config, checkers, root);
+            if let Some(t) = shared {
+                explorer.use_shared_tables(Arc::clone(t));
+            }
+            explorer.explore()
+        }));
+        let result = match attempt {
+            Ok(result) => result,
+            Err(payload) => {
+                if tel_on {
+                    sink.add_labeled("driver.recover.quarantined", Some("explore".into()), 1);
+                }
+                let failure = RootFailure {
+                    root: name.to_string(),
+                    stage: "explore",
+                    reason: panic_reason(payload.as_ref()),
+                    action: "quarantined",
+                };
+                return (quarantined_result(), Some(failure));
+            }
+        };
+        let tripped = result
+            .budget_note
+            .as_ref()
+            .filter(|n| n.reason == "deadline" || n.reason == "live_bytes")
+            .map(|n| n.reason.clone());
+        let Some(reason) = tripped else {
+            return (result, None);
+        };
+        if tel_on {
+            let counter = if reason == "deadline" {
+                "driver.recover.deadline_hits"
+            } else {
+                "driver.recover.live_bytes_hits"
+            };
+            sink.add(counter, 1);
+        }
+        // Demotion: bounded cache-free re-run. Budgets are clamped so the
+        // re-run terminates quickly even for the pathological root that
+        // burned the full deadline; caches/memo stay off (the cache-free
+        // truncation contract of `Explorer::explore`), and the deadline and
+        // ceiling stay armed so a root that cannot finish even degraded is
+        // caught again.
+        let mut demoted = self.config.clone();
+        demoted.exploration_cache = false;
+        demoted.callee_memo = false;
+        demoted.fork_depth = 0;
+        demoted.budget.max_paths = demoted.budget.max_paths.min(DEMOTED_MAX_PATHS);
+        demoted.budget.max_insts = demoted.budget.max_insts.min(DEMOTED_MAX_INSTS);
+        let retry = Instant::now();
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            Explorer::new(module, &demoted, checkers, root).explore()
+        }));
+        if tel_on {
+            sink.record_ns(
+                "driver.recover.retry_ns",
+                Some("explore".into()),
+                retry.elapsed().as_nanos() as u64,
+            );
+        }
+        match attempt {
+            Ok(result) => {
+                let retripped = result
+                    .budget_note
+                    .as_ref()
+                    .is_some_and(|n| n.reason == "deadline" || n.reason == "live_bytes");
+                if retripped {
+                    if tel_on {
+                        sink.add_labeled("driver.recover.quarantined", Some("explore".into()), 1);
+                    }
+                    let failure = RootFailure {
+                        root: name.to_string(),
+                        stage: "explore",
+                        reason,
+                        action: "quarantined",
+                    };
+                    (quarantined_result(), Some(failure))
+                } else {
+                    if tel_on {
+                        sink.add("driver.recover.demoted", 1);
+                    }
+                    let failure = RootFailure {
+                        root: name.to_string(),
+                        stage: "explore",
+                        reason,
+                        action: "demoted",
+                    };
+                    (result, Some(failure))
+                }
+            }
+            Err(payload) => {
+                if tel_on {
+                    sink.add_labeled("driver.recover.quarantined", Some("explore".into()), 1);
+                }
+                let failure = RootFailure {
+                    root: name.to_string(),
+                    stage: "explore",
+                    reason: panic_reason(payload.as_ref()),
+                    action: "quarantined",
+                };
+                (quarantined_result(), Some(failure))
+            }
+        }
     }
 
     /// Records the exploration-volume counters derived from the merged
@@ -520,6 +704,50 @@ impl Pata {
             );
         });
     }
+}
+
+/// Demoted-run clamp on completed paths per root.
+const DEMOTED_MAX_PATHS: usize = 256;
+/// Demoted-run clamp on instructions processed per root.
+const DEMOTED_MAX_INSTS: usize = 50_000;
+
+/// The deterministic result recorded for a quarantined root: no candidates,
+/// no counters beyond the root itself. Partial progress up to the panic
+/// depends on caches, CoW mode and helper timing — dropping it entirely is
+/// what keeps stats and reports byte-identical across configurations for a
+/// fixed failure set.
+fn quarantined_result() -> ExploreResult {
+    ExploreResult {
+        candidates: Vec::new(),
+        stats: AnalysisStats {
+            roots: 1,
+            ..AnalysisStats::default()
+        },
+        alias_ops: [0; 7],
+        budget_note: None,
+        fork_stats: ForkStats::default(),
+    }
+}
+
+/// Renders a caught panic payload for the failure record. Panics raised by
+/// `panic!("...")` carry `String`/`&str`; anything else gets a fixed label
+/// (payload types are not stable across configurations).
+pub(crate) fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Recovers a scheduler-lock guard from poisoning. The queues hold plain
+/// `usize` indices and `collected` grows by whole-`RootRun` pushes, so a
+/// panicking worker (already contained by `run_one_root`; this is defense
+/// in depth) cannot leave either in a half-written state.
+fn lock_ok<T>(r: Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
 }
 
 /// The forced branch prefix for helper `k` at `depth`: the binary digits of

@@ -1,12 +1,14 @@
 //! The bug filter (paper §4, phase P3): cross-root deduplication of
 //! repeated bugs, then alias-aware path validation.
 
-use crate::report::{BugReport, PossibleBug};
+use crate::faultinject::{self, FaultPlan};
+use crate::report::{BugReport, DegradedRoot, PossibleBug};
 use crate::stats::AnalysisStats;
 use crate::telemetry::Telemetry;
 use crate::validate::{Feasibility, PathValidator, ValidationCache};
 use pata_ir::Module;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Output of filtering.
 #[derive(Debug)]
@@ -15,6 +17,10 @@ pub struct FilterResult {
     pub reports: Vec<BugReport>,
     /// The surviving candidates (same order as `reports`).
     pub real_bugs: Vec<PossibleBug>,
+    /// Bug groups whose validation panicked (stage `"validate"`): the group
+    /// is quarantined — not reported, not counted as a dropped false bug —
+    /// and the validator is rebuilt so later groups validate normally.
+    pub failures: Vec<DegradedRoot>,
 }
 
 /// Deduplicates candidates by problematic-instruction pair and validates
@@ -32,6 +38,29 @@ pub fn filter(
     cache: Option<&ValidationCache>,
     telemetry: Option<&Telemetry>,
     stats: &mut AnalysisStats,
+) -> FilterResult {
+    filter_with_faults(
+        module,
+        candidates,
+        validate_paths,
+        cache,
+        telemetry,
+        stats,
+        None,
+    )
+}
+
+/// [`filter`] with an active fault plan: the `validate` injection site
+/// fires per candidate, labeled with the candidate's root name.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn filter_with_faults(
+    module: &Module,
+    candidates: Vec<PossibleBug>,
+    validate_paths: bool,
+    cache: Option<&ValidationCache>,
+    telemetry: Option<&Telemetry>,
+    stats: &mut AnalysisStats,
+    fault: Option<&FaultPlan>,
 ) -> FilterResult {
     let tel_enabled = telemetry.is_some_and(Telemetry::is_enabled);
     let (base_reported, base_repeated, base_false) = (
@@ -59,12 +88,55 @@ pub fn filter(
     let mut validator = PathValidator::with_telemetry(cache, tel_enabled);
     let mut reports = Vec::new();
     let mut real = Vec::new();
-    for key in order {
+    let mut failures: Vec<DegradedRoot> = Vec::new();
+    'groups: for key in order {
         let paths = groups.remove(&key).expect("grouped");
         let witness = if validate_paths {
-            paths
-                .into_iter()
-                .find(|bug| validator.validate(bug) == Feasibility::Feasible)
+            let mut witness = None;
+            for bug in paths {
+                // Per-candidate quarantine: a panicking validation (SMT
+                // bug, injected fault) drops this group only. The
+                // incremental solver may be mid-assertion-scope, so the
+                // validator is drained and rebuilt before the next group.
+                let verdict = catch_unwind(AssertUnwindSafe(|| {
+                    faultinject::maybe_panic(fault, "validate", module.function(bug.root).name());
+                    validator.validate(&bug)
+                }));
+                match verdict {
+                    Ok(Feasibility::Feasible) => {
+                        witness = Some(bug);
+                        break;
+                    }
+                    Ok(_) => {}
+                    Err(payload) => {
+                        let mut broken = std::mem::replace(
+                            &mut validator,
+                            PathValidator::with_telemetry(cache, tel_enabled),
+                        );
+                        drain_validator(&mut broken, stats, telemetry);
+                        failures.push(DegradedRoot {
+                            root: module.function(bug.root).name().to_string(),
+                            stage: "validate".to_string(),
+                            reason: crate::driver::panic_reason(payload.as_ref()),
+                            action: "quarantined".to_string(),
+                        });
+                        if let Some(tel) = telemetry {
+                            tel.record_direct(|sink| {
+                                sink.add_labeled(
+                                    "driver.recover.quarantined",
+                                    Some("validate".into()),
+                                    1,
+                                );
+                            });
+                        }
+                        // Neither reported nor a counted false drop: the
+                        // verdict is unknown, which is exactly what the
+                        // degraded section communicates.
+                        continue 'groups;
+                    }
+                }
+            }
+            witness
         } else {
             paths.into_iter().next()
         };
@@ -79,12 +151,8 @@ pub fn filter(
             }
         }
     }
-    let vstats = validator.stats();
-    stats.validation_cache_hits += vstats.cache_hits;
-    stats.validation_cache_misses += vstats.cache_misses;
-    stats.validation_scope_reuse += vstats.scope_reuse;
+    drain_validator(&mut validator, stats, telemetry);
     if let Some(tel) = telemetry {
-        tel.merge(validator.take_telemetry());
         tel.record_direct(|sink| {
             sink.add(
                 "filter.groups",
@@ -103,6 +171,24 @@ pub fn filter(
     FilterResult {
         reports,
         real_bugs: real,
+        failures,
+    }
+}
+
+/// Folds a validator's counters (and buffered telemetry) into the run
+/// totals. Called once at the end for the live validator and once for each
+/// validator abandoned after a validation panic.
+fn drain_validator(
+    validator: &mut PathValidator<'_>,
+    stats: &mut AnalysisStats,
+    telemetry: Option<&Telemetry>,
+) {
+    let vstats = validator.stats();
+    stats.validation_cache_hits += vstats.cache_hits;
+    stats.validation_cache_misses += vstats.cache_misses;
+    stats.validation_scope_reuse += vstats.scope_reuse;
+    if let Some(tel) = telemetry {
+        tel.merge(validator.take_telemetry());
     }
 }
 

@@ -69,6 +69,7 @@ pub mod checkers;
 pub mod collector;
 pub mod config;
 pub mod driver;
+pub mod faultinject;
 pub mod filter;
 pub(crate) mod fingerprint;
 pub mod json;
@@ -86,12 +87,18 @@ pub mod validate;
 pub use checkers::BugKind;
 pub use config::{AliasMode, AnalysisConfig, AnalysisConfigBuilder, ConfigError, PathBudget};
 pub use driver::{AnalysisOutcome, Pata};
+pub use faultinject::{FaultAction, FaultPlan, FaultPlanError};
 pub use persist::STORE_SCHEMA_VERSION;
 pub use registry::{BuiltinChecker, CheckerFactory, CheckerRegistry, RegistryError};
-pub use report::{BugReport, PossibleBug, Report, ReportError, REPORT_SCHEMA_VERSION};
+pub use report::{
+    BugReport, DegradedRoot, PossibleBug, Report, ReportError, DEGRADED_SECTION_VERSION,
+    REPORT_SCHEMA_VERSION,
+};
 #[cfg(unix)]
-pub use serve::{client_request, serve_unix};
-pub use serve::{handle_line, serve_loop, ServeTotals, SERVE_PROTOCOL_VERSION};
+pub use serve::{client_request, serve_unix, serve_unix_with};
+pub use serve::{
+    handle_line, serve_loop, serve_loop_with, ServeOptions, ServeTotals, SERVE_PROTOCOL_VERSION,
+};
 pub use session::{
     AnalysisRequest, AnalysisSession, IncrementalStats, SessionError, SessionOutcome, SourceFile,
 };

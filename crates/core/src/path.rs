@@ -41,6 +41,7 @@
 use crate::alias::{AliasGraph, Label, Mark as GraphMark, NodeId, Op as GraphOp};
 use crate::checkers::ml;
 use crate::config::{AliasMode, AnalysisConfig};
+use crate::faultinject::{self, FaultPlan};
 use crate::fingerprint::{
     hash2, hash4, mix, FxHashMap, TAG_ARG, TAG_CALLSTACK, TAG_COND, TAG_CONT, TAG_FPTR, TAG_FRAME,
     TAG_HEAP, TAG_SYM, TAG_VISIT,
@@ -335,6 +336,15 @@ fn shard_of(fp: u64) -> usize {
     (fp as usize) % SHARDS
 }
 
+/// Recovers a shared-table shard guard from a poisoned lock. Safe because
+/// every entry is a fully-constructed `Arc` inserted by move under a plain
+/// `HashMap::insert` of a `u64`-tuple key — a panicking explorer (the
+/// quarantine path) can never leave a half-written value behind, so the
+/// other explorers may keep using the shard.
+fn poison_ok<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Where this explorer's cache entries live: thread-local maps for the
 /// common case, lock-sharded shared maps when fork helpers warm the caches
 /// for a heavy root.
@@ -416,8 +426,13 @@ pub struct Explorer<'a> {
     /// Hard-disables both caches regardless of config — set for the
     /// deterministic cache-free re-run of a budget-exhausted root.
     caches_off: bool,
-    /// Which budget tripped first ("max_insts" / "max_paths"), if any.
+    /// Which budget tripped first ("max_insts" / "max_paths" /
+    /// "deadline" / "live_bytes"), if any.
     budget_reason: Option<&'static str>,
+    /// Wall-clock deadline for this root, armed at `run_root` entry when
+    /// [`AnalysisConfig::root_deadline_ms`] is non-zero; checked at fork
+    /// points by `check_resource_budgets`.
+    deadline: Option<std::time::Instant>,
     /// Cached per-function cyclic-block masks (see [`Explorer::cyclic_mask`]).
     cyclic_masks: FxHashMap<FuncId, Arc<Vec<bool>>>,
     /// Reusable per-instruction alias-resolution scratch; cleared (keeping
@@ -534,6 +549,7 @@ impl<'a> Explorer<'a> {
             discard: false,
             caches_off: false,
             budget_reason: None,
+            deadline: None,
             cyclic_masks: FxHashMap::default(),
             info_scratch: UpdateInfo::default(),
             verify_fp: false,
@@ -573,7 +589,15 @@ impl<'a> Explorer<'a> {
         let rerun_on_exhaustion = caches_usable && !self.discard;
         let verify_fp = self.verify_fp;
         let result = self.run_root();
-        if rerun_on_exhaustion && result.stats.budget_exhausted_roots > 0 {
+        // Resource-budget trips (deadline / live-bytes) do NOT take the
+        // internal cache-free rerun: re-exploring at full budget would trip
+        // again (and burn the deadline twice). The driver's demotion ladder
+        // handles them with a *bounded* re-run instead.
+        let resource_trip = matches!(
+            result.budget_note.as_ref().map(|n| n.reason.as_str()),
+            Some("deadline" | "live_bytes")
+        );
+        if rerun_on_exhaustion && !resource_trip && result.stats.budget_exhausted_roots > 0 {
             let mut fresh = Explorer::new(module, config, checkers, root);
             fresh.caches_off = true;
             fresh.verify_fp = verify_fp;
@@ -582,7 +606,32 @@ impl<'a> Explorer<'a> {
         result
     }
 
+    /// The active fault plan at this explorer's injection sites. Fork
+    /// helpers explore the same roots concurrently with owners and their
+    /// results are discarded, so faults are suppressed for them — hit
+    /// counters stay deterministic (a root's owning exploration is
+    /// single-threaded) and a helper can never panic a root the owner
+    /// completes.
+    fn fault(&self) -> Option<&'a FaultPlan> {
+        if self.discard {
+            None
+        } else {
+            self.config.fault_plan.as_deref()
+        }
+    }
+
     fn run_root(mut self) -> ExploreResult {
+        faultinject::maybe_panic(
+            self.fault(),
+            "explore",
+            self.module.function(self.root).name(),
+        );
+        if self.config.root_deadline_ms > 0 {
+            self.deadline = Some(
+                std::time::Instant::now()
+                    + std::time::Duration::from_millis(self.config.root_deadline_ms),
+            );
+        }
         let nblocks = self.module.function(self.root).blocks().len();
         let cyclic = self.cyclic_mask(self.root);
         let frame = self.new_frame(self.root, nblocks, cyclic, 0);
@@ -889,6 +938,13 @@ impl<'a> Explorer<'a> {
         loc: Loc,
         inst_id: InstId,
     ) {
+        // Checker callbacks are arbitrary user code (CheckerRegistry); this
+        // is the site where a misbehaving checker's panic is simulated.
+        faultinject::maybe_panic(
+            self.fault(),
+            "checker",
+            self.module.function(self.root).name(),
+        );
         let graph = &self.graph;
         let set_size = |k: TrackKey| match k {
             TrackKey::Node(n) => graph.alias_set_size(n),
@@ -1241,7 +1297,7 @@ impl<'a> Explorer<'a> {
     fn get_sub(&self, key: &SubKey) -> Option<Arc<SubEntry>> {
         match &self.tables {
             Tables::Local { sub, .. } => sub.get(key).cloned(),
-            Tables::Shared(t) => t.sub[shard_of(key.2)].lock().unwrap().get(key).cloned(),
+            Tables::Shared(t) => poison_ok(t.sub[shard_of(key.2)].lock()).get(key).cloned(),
         }
     }
 
@@ -1253,7 +1309,7 @@ impl<'a> Explorer<'a> {
                 }
             }
             Tables::Shared(t) => {
-                let mut shard = t.sub[shard_of(key.2)].lock().unwrap();
+                let mut shard = poison_ok(t.sub[shard_of(key.2)].lock());
                 if shard.len() < SUB_TABLE_CAP / SHARDS {
                     shard.insert(key, Arc::new(entry));
                 }
@@ -1264,7 +1320,7 @@ impl<'a> Explorer<'a> {
     fn get_memo(&self, key: &MemoKey) -> Option<Arc<MemoEntry>> {
         match &self.tables {
             Tables::Local { memo, .. } => memo.get(key).cloned(),
-            Tables::Shared(t) => t.memo[shard_of(key.1)].lock().unwrap().get(key).cloned(),
+            Tables::Shared(t) => poison_ok(t.memo[shard_of(key.1)].lock()).get(key).cloned(),
         }
     }
 
@@ -1276,7 +1332,7 @@ impl<'a> Explorer<'a> {
                 }
             }
             Tables::Shared(t) => {
-                let mut shard = t.memo[shard_of(key.1)].lock().unwrap();
+                let mut shard = poison_ok(t.memo[shard_of(key.1)].lock());
                 if shard.len() < MEMO_TABLE_CAP / SHARDS {
                     shard.insert(key, Arc::new(entry));
                 }
@@ -1354,6 +1410,48 @@ impl<'a> Explorer<'a> {
 
     fn path_end(&mut self) {
         self.stats.paths_explored += 1;
+    }
+
+    /// Resource-budget check at a branch fork point: injected `deadline` /
+    /// `live_bytes` faults first (deterministic by construction), then the
+    /// real wall-clock deadline and live-bytes ceiling. Returns whether a
+    /// budget tripped *now* — the root is then marked exhausted with the
+    /// budget reason and the driver's demote-then-quarantine ladder takes
+    /// over (the internal cache-free rerun is skipped for these reasons).
+    fn check_resource_budgets(&mut self) -> bool {
+        if self.exhausted {
+            return false;
+        }
+        let mut trip: Option<&'static str> = None;
+        if let Some(plan) = self.fault() {
+            let name = self.module.function(self.root).name();
+            if plan.should_fire("deadline", name) {
+                trip = Some("deadline");
+            } else if plan.should_fire("live_bytes", name) {
+                trip = Some("live_bytes");
+            }
+        }
+        if trip.is_none() {
+            if let Some(deadline) = self.deadline {
+                if std::time::Instant::now() >= deadline {
+                    trip = Some("deadline");
+                }
+            }
+        }
+        if trip.is_none()
+            && self.config.max_live_bytes > 0
+            && self.live_bytes_estimate() > self.config.max_live_bytes
+        {
+            trip = Some("live_bytes");
+        }
+        match trip {
+            Some(reason) => {
+                self.exhausted = true;
+                self.budget_reason.get_or_insert(reason);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Whether the loop cut still allows entering `block` in this frame.
@@ -1491,6 +1589,12 @@ impl<'a> Explorer<'a> {
                 then_bb,
                 else_bb,
             } => {
+                if self.check_resource_budgets() {
+                    // A freshly tripped deadline/ceiling truncates here,
+                    // exactly like an instruction-budget trip in
+                    // `budget_ok` (no `path_end` for a truncated path).
+                    return;
+                }
                 let pred = self.cond_defs.get(&cond).copied();
                 // Fork helpers force their first branches along a distinct
                 // prefix, steering them into a DFS region the owner reaches

@@ -36,8 +36,9 @@
 use crate::checkers::BugKind;
 use crate::collector::CallGraph;
 use crate::config::{AliasMode, AnalysisConfig};
+use crate::faultinject::{self, FaultPlan};
 use crate::json::{quote, JsonValue};
-use crate::report::PossibleBug;
+use crate::report::{DegradedRoot, PossibleBug};
 use crate::stats::{AnalysisStats, BudgetNote};
 use pata_ir::{function_text, BlockId, FileId, FuncId, InstId, Loc, Module};
 use pata_smt::{CmpOp, Constraint, OpaqueOp, SatResult, Term};
@@ -100,6 +101,23 @@ pub(crate) fn config_fingerprint(config: &AnalysisConfig) -> u64 {
         config.validate_paths,
         config.resolve_fptrs,
     ));
+    // Fault-containment knobs are verdict-relevant: a deadline or ceiling
+    // can demote/quarantine a root (changing its stored verdicts), and a
+    // fault plan injects failures by design — never share cached results
+    // across different settings. Zero/none render as the historical empty
+    // suffix so existing stores stay warm.
+    if config.root_deadline_ms != 0 {
+        text.push_str(&format!(";deadline_ms={}", config.root_deadline_ms));
+    }
+    if config.max_live_bytes != 0 {
+        text.push_str(&format!(";max_live_bytes={}", config.max_live_bytes));
+    }
+    if let Some(plan) = &config.fault_plan {
+        if !plan.spec().is_empty() {
+            text.push_str(";faults=");
+            text.push_str(plan.spec());
+        }
+    }
     fnv64(text.as_bytes())
 }
 
@@ -328,6 +346,12 @@ pub(crate) struct StoredRoot {
     pub(crate) stats: AnalysisStats,
     /// Budget-exhaustion note, if the root was truncated.
     pub(crate) note: Option<BudgetNote>,
+    /// Degraded entry for a root the fault-containment ladder demoted —
+    /// persisted so a warm replay reproduces the report's `degraded`
+    /// section byte-identically. Quarantined roots are never persisted
+    /// (they re-explore on the next request), so this is only ever the
+    /// `"demoted"` record. Absent in older stores (parsed as `None`).
+    pub(crate) degraded: Option<DegradedRoot>,
 }
 
 // --------------------------------------------------------------------
@@ -475,15 +499,45 @@ impl Store {
 
     /// Writes the store atomically (temp file in the same directory, then
     /// rename), so a crash mid-write never leaves a truncated store.
+    /// Production callers thread their fault plan through
+    /// [`Store::save_with_faults`]; this fault-free spelling serves tests.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn save(&self, path: &Path) -> io::Result<()> {
+        self.save_with_faults(path, None)
+    }
+
+    /// [`Store::save`] with fault-injection crash points around the
+    /// temp+rename protocol. Each `store.save.*` site simulates a process
+    /// killed at that exact instant (a panic the crash-safety tests catch);
+    /// the plain `store.save` site yields an IO error the session treats
+    /// like any other failed save. Whatever the crash point, the next
+    /// [`Store::load`] sees either the old store, the new store, or a
+    /// stray `.tmp` it never reads — all of which cold-start cleanly.
+    pub(crate) fn save_with_faults(
+        &self,
+        path: &Path,
+        fault: Option<&FaultPlan>,
+    ) -> io::Result<()> {
+        faultinject::maybe_io(fault, "store.save")?;
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;
             }
         }
         let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, self.to_json())?;
-        std::fs::rename(&tmp, path)
+        faultinject::maybe_panic(fault, "store.save.before_tmp", "");
+        let json = self.to_json();
+        if fault.is_some_and(|p| p.should_fire("store.save.mid_tmp", "")) {
+            // Simulate dying halfway through the temp write: leave a
+            // truncated temp file behind, then "crash".
+            let _ = std::fs::write(&tmp, &json.as_bytes()[..json.len() / 2]);
+            panic!("fault injected: store.save.mid_tmp");
+        }
+        std::fs::write(&tmp, json)?;
+        faultinject::maybe_panic(fault, "store.save.before_rename", "");
+        std::fs::rename(&tmp, path)?;
+        faultinject::maybe_panic(fault, "store.save.after_rename", "");
+        Ok(())
     }
 }
 
@@ -528,6 +582,17 @@ fn write_root(out: &mut String, r: &StoredRoot) {
         }
         None => out.push_str(", \"note\": null"),
     }
+    // Emitted only when present so zero-fault stores keep their exact
+    // pre-existing byte layout (and older readers' parse shape).
+    if let Some(d) = &r.degraded {
+        out.push_str(&format!(
+            ", \"degraded\": {{\"root\": {}, \"stage\": {}, \"reason\": {}, \"action\": {}}}",
+            quote(&d.root),
+            quote(&d.stage),
+            quote(&d.reason),
+            quote(&d.action)
+        ));
+    }
     out.push('}');
 }
 
@@ -544,12 +609,22 @@ fn parse_root(v: &JsonValue) -> Option<StoredRoot> {
             caches_disabled: n.get("caches_disabled")?.as_bool()?,
         }),
     };
+    let degraded = match v.get("degraded") {
+        None | Some(JsonValue::Null) => None,
+        Some(d) => Some(DegradedRoot {
+            root: d.get("root")?.as_str()?.to_owned(),
+            stage: d.get("stage")?.as_str()?.to_owned(),
+            reason: d.get("reason")?.as_str()?.to_owned(),
+            action: d.get("action")?.as_str()?.to_owned(),
+        }),
+    };
     Some(StoredRoot {
         root: v.get("root")?.as_str()?.to_owned(),
         closure_fp: parse_hex64(v.get("closure_fp")?.as_str()?)?,
         candidates,
         stats: parse_stats(v.get("stats")?)?,
         note,
+        degraded,
     })
 }
 
@@ -883,6 +958,12 @@ mod tests {
                     reason: "max_paths".into(),
                     caches_disabled: false,
                 }),
+                degraded: Some(DegradedRoot {
+                    root: "probe".into(),
+                    stage: "explore".into(),
+                    reason: "deadline".into(),
+                    action: "demoted".into(),
+                }),
             }],
             validation: vec![
                 (vec![0u8, 255, 16], SatResult::Unsat),
@@ -958,9 +1039,98 @@ mod tests {
         let mut relevant = base.clone();
         relevant.validate_paths = false;
         assert_ne!(config_fingerprint(&relevant), base_fp);
-        let mut relevant = base;
+        let mut relevant = base.clone();
         relevant.checkers = vec![BugKind::MemoryLeak];
         assert_ne!(config_fingerprint(&relevant), base_fp);
+        // Fault-containment knobs are verdict-relevant too…
+        let mut relevant = base.clone();
+        relevant.root_deadline_ms = 100;
+        assert_ne!(config_fingerprint(&relevant), base_fp);
+        let mut relevant = base.clone();
+        relevant.max_live_bytes = 1 << 20;
+        assert_ne!(config_fingerprint(&relevant), base_fp);
+        let mut relevant = base.clone();
+        relevant.fault_plan = Some(std::sync::Arc::new(
+            crate::faultinject::FaultPlan::parse("explore:r@1").unwrap(),
+        ));
+        assert_ne!(config_fingerprint(&relevant), base_fp);
+        // …but an empty plan renders as the historical fingerprint so
+        // existing stores stay warm.
+        let mut empty = base;
+        empty.fault_plan = Some(std::sync::Arc::new(
+            crate::faultinject::FaultPlan::parse("").unwrap(),
+        ));
+        assert_eq!(config_fingerprint(&empty), base_fp);
+    }
+
+    #[test]
+    fn degraded_field_is_optional_and_backward_compatible() {
+        let mut store = sample_store();
+        store.roots[0].degraded = None;
+        let json = store.to_json();
+        assert!(!json.contains("\"degraded\""), "omitted when None");
+        let back = Store::parse(&json, store.config_fp).expect("parses");
+        assert_eq!(back.roots[0].degraded, None);
+    }
+
+    /// Satellite: the store crash-safety matrix. A save killed at any
+    /// crash point of the temp+rename protocol leaves the path in a state
+    /// the next cold start handles: either the old store, the new store,
+    /// or nothing readable — never a truncated document that parses.
+    #[test]
+    fn save_crash_points_cold_start_cleanly() {
+        use crate::faultinject::FaultPlan;
+        let dir = std::env::temp_dir().join(format!("pata-crash-matrix-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let old = sample_store();
+        let mut new = sample_store();
+        new.roots[0].closure_fp ^= 0x5555;
+        let old_json = old.to_json();
+        let new_json = new.to_json();
+
+        for (site, survives_as_new) in [
+            ("store.save.before_tmp", false),
+            ("store.save.mid_tmp", false),
+            ("store.save.before_rename", false),
+            ("store.save.after_rename", true),
+        ] {
+            let path = dir.join(format!("{site}.store"));
+            // Baseline: the previous save landed intact.
+            old.save(&path).unwrap();
+            let plan = FaultPlan::parse(site).unwrap();
+            let killed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                new.save_with_faults(&path, Some(&plan))
+            }));
+            assert!(killed.is_err(), "{site}: crash point fires");
+            // Cold start after the "kill": load never errors, and the
+            // surviving content is exactly old-or-new, never a hybrid.
+            let text = std::fs::read_to_string(&path).unwrap();
+            if survives_as_new {
+                assert_eq!(text, new_json, "{site}: rename completed");
+            } else {
+                assert_eq!(text, old_json, "{site}: old store intact");
+            }
+            let loaded = Store::load(&path, old.config_fp);
+            assert!(loaded.is_some(), "{site}: cold start parses");
+            // A retry with no plan finishes the interrupted save.
+            new.save(&path).unwrap();
+            assert_eq!(std::fs::read_to_string(&path).unwrap(), new_json);
+        }
+
+        // The plain `store.save` site is an IO error, not a crash: the
+        // caller sees `Err`, the old store is untouched.
+        let path = dir.join("ioerror.store");
+        old.save(&path).unwrap();
+        let plan = FaultPlan::parse("store.save@1").unwrap();
+        assert!(new.save_with_faults(&path, Some(&plan)).is_err());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), old_json);
+        // Second attempt (hit 2) succeeds.
+        new.save_with_faults(&path, Some(&plan)).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), new_json);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -106,6 +106,35 @@ impl fmt::Display for BugReport {
     }
 }
 
+/// Version of the `degraded` report section. Versioned independently of
+/// [`REPORT_SCHEMA_VERSION`]: the section was added as an optional envelope
+/// field (no outer schema bump), so it carries its own version gate for
+/// future shape changes.
+pub const DEGRADED_SECTION_VERSION: u64 = 1;
+
+/// One root the analysis could not fully complete: quarantined after a
+/// panic, or demoted to a bounded re-run after tripping a resource budget
+/// (DESIGN.md "Fault containment & degraded reports").
+///
+/// Entries are sorted by `(root, stage)` before serialization so degraded
+/// reports stay byte-identical across thread counts and cache
+/// configurations for the same failure set.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DegradedRoot {
+    /// Name of the affected root (module interface function).
+    pub root: String,
+    /// Pipeline stage where the fault hit: `"explore"`, `"validate"`, or
+    /// `"session"`.
+    pub stage: String,
+    /// Why the root degraded: the panic payload for quarantines, or the
+    /// tripped budget (`"deadline"` / `"live_bytes"`) for demotions.
+    pub reason: String,
+    /// What the pipeline did: `"quarantined"` (root skipped, its verdicts
+    /// absent from this report) or `"demoted"` (verdicts come from a
+    /// bounded cache-free re-run).
+    pub action: String,
+}
+
 /// Version of the JSON report schema produced by [`Report::to_json`].
 ///
 /// Bump this when a field is renamed, removed, or changes meaning; adding
@@ -171,6 +200,11 @@ pub struct Report {
     /// schema bump — truncation detail qualifies the verdicts but does not
     /// change their format).
     pub budget_notes: Vec<crate::stats::BudgetNote>,
+    /// Roots quarantined or demoted by the fault-containment layer (an
+    /// optional envelope field like `budget_notes`: emitted only when
+    /// non-empty under its own [`DEGRADED_SECTION_VERSION`], absent on
+    /// parse means no root degraded).
+    pub degraded: Vec<DegradedRoot>,
 }
 
 impl Report {
@@ -180,12 +214,25 @@ impl Report {
             schema_version: REPORT_SCHEMA_VERSION,
             reports,
             budget_notes: Vec::new(),
+            degraded: Vec::new(),
         }
     }
 
     /// Attaches per-root budget-exhaustion notes to the envelope.
     pub fn with_budget_notes(mut self, notes: Vec<crate::stats::BudgetNote>) -> Self {
         self.budget_notes = notes;
+        self
+    }
+
+    /// Attaches degraded-root entries to the envelope, sorted by
+    /// `(root, stage)` so the serialization is deterministic regardless of
+    /// the order faults were observed in. Identical entries collapse to
+    /// one (an unlabeled `validate` fault can hit several candidate groups
+    /// of the same root and would otherwise repeat verbatim).
+    pub fn with_degraded(mut self, mut degraded: Vec<DegradedRoot>) -> Self {
+        degraded.sort();
+        degraded.dedup();
+        self.degraded = degraded;
         self
     }
 
@@ -239,6 +286,26 @@ impl Report {
                 out.push('}');
             }
             out.push(']');
+        }
+        if !self.degraded.is_empty() {
+            out.push_str(", \"degraded\": {\"version\": ");
+            out.push_str(&DEGRADED_SECTION_VERSION.to_string());
+            out.push_str(", \"roots\": [");
+            for (i, d) in self.degraded.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str("{\"root\": ");
+                out.push_str(&quote(&d.root));
+                out.push_str(", \"stage\": ");
+                out.push_str(&quote(&d.stage));
+                out.push_str(", \"reason\": ");
+                out.push_str(&quote(&d.reason));
+                out.push_str(", \"action\": ");
+                out.push_str(&quote(&d.action));
+                out.push('}');
+            }
+            out.push_str("]}");
         }
         out.push('}');
         out
@@ -330,10 +397,46 @@ impl Report {
                 });
             }
         }
+        // Optional envelope field: absent means no root degraded. The
+        // section carries its own version gate.
+        let mut degraded = Vec::new();
+        if let Some(section) = doc.get("degraded") {
+            let sec_version = section
+                .get("version")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| schema("missing degraded section version"))?;
+            if sec_version != DEGRADED_SECTION_VERSION {
+                return Err(ReportError::Schema(format!(
+                    "unsupported degraded section version {sec_version} \
+                     (expected {DEGRADED_SECTION_VERSION})"
+                )));
+            }
+            let roots = section
+                .get("roots")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| schema("missing degraded roots array"))?;
+            for item in roots {
+                let str_field = |name: &str| {
+                    item.get(name)
+                        .and_then(JsonValue::as_str)
+                        .map(str::to_owned)
+                        .ok_or_else(|| {
+                            ReportError::Schema(format!("missing degraded field `{name}`"))
+                        })
+                };
+                degraded.push(DegradedRoot {
+                    root: str_field("root")?,
+                    stage: str_field("stage")?,
+                    reason: str_field("reason")?,
+                    action: str_field("action")?,
+                });
+            }
+        }
         Ok(Report {
             schema_version: version,
             reports,
             budget_notes,
+            degraded,
         })
     }
 }
@@ -426,6 +529,56 @@ mod tests {
             .replace("use-after-free", "not-a-bug-kind");
         let err = Report::from_json(&json).unwrap_err();
         assert!(err.to_string().contains("not-a-bug-kind"));
+    }
+
+    #[test]
+    fn degraded_section_round_trips_sorted() {
+        let report = Report::new(vec![sample_report()]).with_degraded(vec![
+            DegradedRoot {
+                root: "zeta_probe".into(),
+                stage: "explore".into(),
+                reason: "fault injected: explore:zeta_probe".into(),
+                action: "quarantined".into(),
+            },
+            DegradedRoot {
+                root: "alpha_probe".into(),
+                stage: "validate".into(),
+                reason: "deadline".into(),
+                action: "demoted".into(),
+            },
+        ]);
+        // with_degraded sorts by (root, stage) for deterministic bytes.
+        assert_eq!(report.degraded[0].root, "alpha_probe");
+        let json = report.to_json();
+        assert!(json.contains("\"degraded\": {\"version\": 1"));
+        let back = Report::from_json(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn degraded_section_absent_when_empty() {
+        let report = Report::new(vec![]).with_degraded(vec![]);
+        let json = report.to_json();
+        assert!(!json.contains("degraded"));
+        assert_eq!(Report::from_json(&json).unwrap().degraded, vec![]);
+    }
+
+    #[test]
+    fn degraded_section_rejects_wrong_version() {
+        let json = Report::new(vec![])
+            .with_degraded(vec![DegradedRoot {
+                root: "r".into(),
+                stage: "explore".into(),
+                reason: "x".into(),
+                action: "quarantined".into(),
+            }])
+            .to_json()
+            .replace(
+                "\"degraded\": {\"version\": 1",
+                "\"degraded\": {\"version\": 99",
+            );
+        let err = Report::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("degraded section version 99"));
     }
 
     #[test]

@@ -40,12 +40,97 @@
 //! previously computed root summary and validation verdict.
 
 use crate::json::{quote, JsonValue};
-use crate::session::{AnalysisRequest, AnalysisSession, SessionError};
+use crate::session::{AnalysisRequest, AnalysisSession};
 use std::io::{self, BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Version of the request/response protocol. Bump on any incompatible
 /// change; responses always carry it so clients can check.
 pub const SERVE_PROTOCOL_VERSION: u64 = 1;
+
+/// Hardening knobs for a serve loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Longest request line accepted, in bytes. An oversized frame is
+    /// discarded up to its newline and answered with an error response —
+    /// the connection (and the daemon) stay up, and framing re-synchronizes
+    /// at the next line. `0` means unlimited.
+    pub max_request_bytes: usize,
+    /// Per-request reply deadline for the socket daemon, in milliseconds.
+    /// A request that exceeds it gets a timeout error response while the
+    /// worker finishes in the background (later requests queue behind it).
+    /// `0` disables the deadline. Ignored by the stdio transport, which is
+    /// single-threaded by design.
+    pub request_timeout_ms: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            max_request_bytes: 8 * 1024 * 1024,
+            request_timeout_ms: 0,
+        }
+    }
+}
+
+/// One framed request line, read with a size bound.
+enum Frame {
+    /// End of stream (no more requests).
+    Eof,
+    /// A complete request line (without the newline).
+    Line(String),
+    /// A line longer than the bound; carries the discarded byte count.
+    Oversized(usize),
+}
+
+/// Reads one newline-terminated frame without buffering more than `max`
+/// bytes of it. Unlike `BufRead::read_line`, a hostile or buggy client
+/// streaming an endless line cannot balloon daemon memory: once the bound
+/// is crossed the remainder is consumed and dropped chunk-by-chunk until
+/// the newline, keeping the stream synchronized for the next request.
+fn read_frame<R: BufRead>(reader: &mut R, max: usize) -> io::Result<Frame> {
+    let mut line: Vec<u8> = Vec::new();
+    let mut dropped = false;
+    let mut total = 0usize;
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(if total == 0 {
+                Frame::Eof
+            } else if dropped {
+                Frame::Oversized(total)
+            } else {
+                Frame::Line(String::from_utf8_lossy(&line).into_owned())
+            });
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if !dropped {
+                    line.extend_from_slice(&buf[..pos]);
+                }
+                total += pos + 1;
+                reader.consume(pos + 1);
+                return Ok(if dropped || (max > 0 && line.len() > max) {
+                    Frame::Oversized(total)
+                } else {
+                    Frame::Line(String::from_utf8_lossy(&line).into_owned())
+                });
+            }
+            None => {
+                let n = buf.len();
+                total += n;
+                if !dropped {
+                    line.extend_from_slice(buf);
+                    if max > 0 && line.len() > max {
+                        dropped = true;
+                        line = Vec::new();
+                    }
+                }
+                reader.consume(n);
+            }
+        }
+    }
+}
 
 /// Running totals across every request a serve loop has handled.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -163,7 +248,9 @@ pub fn handle_line(
                         false,
                     )
                 }
-                Err(e @ SessionError::EmptyRequest) | Err(e @ SessionError::Compile(_)) => {
+                // `Internal` already reset the session's warm state; like
+                // every other failure it is a response, not a daemon death.
+                Err(e) => {
                     totals.errors += 1;
                     (error_response(&id, &e.to_string()), false)
                 }
@@ -179,21 +266,76 @@ pub fn handle_line(
     }
 }
 
+/// [`handle_line`] behind the worker's panic boundary: a panic escaping
+/// the session (it has its own containment, so this is the last resort)
+/// becomes an error response and a warm-state reset, never a dead loop.
+fn handle_line_contained(
+    session: &mut AnalysisSession,
+    line: &str,
+    totals: &mut ServeTotals,
+) -> (String, bool) {
+    match catch_unwind(AssertUnwindSafe(|| handle_line(session, line, totals))) {
+        Ok(result) => result,
+        Err(payload) => {
+            session.reset_warm();
+            totals.errors += 1;
+            (
+                error_response(
+                    "null",
+                    &format!("internal panic: {}", crate::driver::panic_reason(&*payload)),
+                ),
+                false,
+            )
+        }
+    }
+}
+
+/// Renders the error response for a frame longer than the configured
+/// [`ServeOptions::max_request_bytes`].
+fn oversized_response(dropped: usize, max: usize) -> String {
+    error_response(
+        "null",
+        &format!("request line of {dropped} bytes exceeds the {max}-byte limit"),
+    )
+}
+
 /// Serves requests from `reader` to `writer` until `shutdown` or EOF —
 /// the stdio transport, also what the in-process tests and benches drive.
-/// Returns the accumulated totals.
+/// Returns the accumulated totals. Uses [`ServeOptions::default`].
 pub fn serve_loop<R: BufRead, W: Write>(
     session: &mut AnalysisSession,
     reader: R,
+    writer: W,
+) -> io::Result<ServeTotals> {
+    serve_loop_with(session, reader, writer, ServeOptions::default())
+}
+
+/// [`serve_loop`] with explicit [`ServeOptions`].
+pub fn serve_loop_with<R: BufRead, W: Write>(
+    session: &mut AnalysisSession,
+    mut reader: R,
     mut writer: W,
+    options: ServeOptions,
 ) -> io::Result<ServeTotals> {
     let mut totals = ServeTotals::default();
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (response, quit) = handle_line(session, &line, &mut totals);
+    loop {
+        let (response, quit) = match read_frame(&mut reader, options.max_request_bytes)? {
+            Frame::Eof => break,
+            Frame::Oversized(dropped) => {
+                totals.requests += 1;
+                totals.errors += 1;
+                (
+                    oversized_response(dropped, options.max_request_bytes),
+                    false,
+                )
+            }
+            Frame::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                handle_line_contained(session, &line, &mut totals)
+            }
+        };
         writer.write_all(response.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
@@ -221,10 +363,23 @@ pub mod unix {
     /// Binds `socket`, accepts connections until a `shutdown` request,
     /// and forwards every request line to one worker thread owning
     /// `session` (strict arrival order, shared warm cache). Returns the
-    /// session (with its final telemetry) and the request totals.
+    /// session (with its final telemetry) and the request totals. Uses
+    /// [`ServeOptions::default`].
     pub fn serve_unix(
         session: AnalysisSession,
         socket: &Path,
+    ) -> io::Result<(AnalysisSession, ServeTotals)> {
+        serve_unix_with(session, socket, ServeOptions::default())
+    }
+
+    /// [`serve_unix`] with explicit [`ServeOptions`]: request frames are
+    /// bounded per connection, and with a non-zero
+    /// [`ServeOptions::request_timeout_ms`] a client whose request takes
+    /// too long gets a timeout error while the worker finishes behind it.
+    pub fn serve_unix_with(
+        session: AnalysisSession,
+        socket: &Path,
+        options: ServeOptions,
     ) -> io::Result<(AnalysisSession, ServeTotals)> {
         let _ = std::fs::remove_file(socket);
         let listener = UnixListener::bind(socket)?;
@@ -238,7 +393,8 @@ pub mod unix {
             std::thread::spawn(move || {
                 let mut totals = ServeTotals::default();
                 while let Ok(job) = rx.recv() {
-                    let (response, quit) = handle_line(&mut session, &job.line, &mut totals);
+                    let (response, quit) =
+                        handle_line_contained(&mut session, &job.line, &mut totals);
                     let _ = job.reply.send(response);
                     if quit {
                         shutdown.store(true, Ordering::SeqCst);
@@ -259,29 +415,61 @@ pub mod unix {
             let Ok(stream) = conn else { continue };
             let tx = tx.clone();
             conns.push(std::thread::spawn(move || {
-                let reader = io::BufReader::new(match stream.try_clone() {
+                let mut reader = io::BufReader::new(match stream.try_clone() {
                     Ok(s) => s,
                     Err(_) => return,
                 });
                 let mut writer = stream;
-                for line in reader.lines() {
-                    let Ok(line) = line else { break };
-                    if line.trim().is_empty() {
-                        continue;
-                    }
-                    let (reply_tx, reply_rx) = mpsc::channel();
-                    let response = if tx
-                        .send(Job {
-                            line,
-                            reply: reply_tx,
-                        })
-                        .is_ok()
-                    {
-                        reply_rx
-                            .recv()
-                            .unwrap_or_else(|_| error_response("null", "daemon shut down"))
-                    } else {
-                        error_response("null", "daemon shut down")
+                loop {
+                    let response = match read_frame(&mut reader, options.max_request_bytes) {
+                        Err(_) | Ok(Frame::Eof) => break,
+                        Ok(Frame::Oversized(dropped)) => {
+                            // Refused locally; the worker (and its totals)
+                            // never see the frame, and the connection is
+                            // already re-synchronized at the newline.
+                            oversized_response(dropped, options.max_request_bytes)
+                        }
+                        Ok(Frame::Line(line)) => {
+                            if line.trim().is_empty() {
+                                continue;
+                            }
+                            let (reply_tx, reply_rx) = mpsc::channel();
+                            if tx
+                                .send(Job {
+                                    line,
+                                    reply: reply_tx,
+                                })
+                                .is_ok()
+                            {
+                                let reply = if options.request_timeout_ms > 0 {
+                                    reply_rx
+                                        .recv_timeout(std::time::Duration::from_millis(
+                                            options.request_timeout_ms,
+                                        ))
+                                        .map_err(|e| match e {
+                                            mpsc::RecvTimeoutError::Timeout => error_response(
+                                                "null",
+                                                &format!(
+                                                    "request timed out after {} ms",
+                                                    options.request_timeout_ms
+                                                ),
+                                            ),
+                                            mpsc::RecvTimeoutError::Disconnected => {
+                                                error_response("null", "daemon shut down")
+                                            }
+                                        })
+                                } else {
+                                    reply_rx
+                                        .recv()
+                                        .map_err(|_| error_response("null", "daemon shut down"))
+                                };
+                                match reply {
+                                    Ok(r) | Err(r) => r,
+                                }
+                            } else {
+                                error_response("null", "daemon shut down")
+                            }
+                        }
                     };
                     if writer
                         .write_all(response.as_bytes())
@@ -324,7 +512,7 @@ pub mod unix {
 }
 
 #[cfg(unix)]
-pub use unix::{client_request, serve_unix};
+pub use unix::{client_request, serve_unix, serve_unix_with};
 
 #[cfg(test)]
 mod tests {
@@ -417,6 +605,99 @@ mod tests {
             .contains("frobnicate"));
         let ping = JsonValue::parse(lines[2]).unwrap();
         assert_eq!(ping.get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn oversized_frame_gets_error_and_loop_survives() {
+        let mut s = session();
+        let big = format!("{{\"op\": \"ping\", \"pad\": \"{}\"}}", "x".repeat(4096));
+        let input = format!("{big}\n{{\"id\": 2, \"op\": \"ping\"}}\n");
+        let mut out = Vec::new();
+        let totals = serve_loop_with(
+            &mut s,
+            input.as_bytes(),
+            &mut out,
+            ServeOptions {
+                max_request_bytes: 256,
+                request_timeout_ms: 0,
+            },
+        )
+        .unwrap();
+        assert_eq!(totals.requests, 2);
+        assert_eq!(totals.errors, 1);
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 2);
+        let refused = JsonValue::parse(lines[0]).unwrap();
+        assert_eq!(refused.get("ok").unwrap().as_bool(), Some(false));
+        assert!(refused
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("256-byte limit"));
+        // Framing re-synchronized: the next request still works.
+        let ping = JsonValue::parse(lines[1]).unwrap();
+        assert_eq!(ping.get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn oversized_frame_larger_than_bufreader_chunk() {
+        let mut s = session();
+        // Longer than BufReader's 8 KiB internal buffer: exercises the
+        // chunked discard path of read_frame.
+        let big = "y".repeat(64 * 1024);
+        let input = format!("{big}\n{{\"op\": \"ping\"}}\n");
+        let mut out = Vec::new();
+        let totals = serve_loop_with(
+            &mut s,
+            io::BufReader::new(input.as_bytes()),
+            &mut out,
+            ServeOptions {
+                max_request_bytes: 1024,
+                request_timeout_ms: 0,
+            },
+        )
+        .unwrap();
+        assert_eq!(totals.errors, 1);
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("65537 bytes"));
+        assert!(lines[1].contains("\"ok\": true"));
+    }
+
+    #[test]
+    fn session_panic_becomes_error_response_and_loop_survives() {
+        use crate::faultinject::FaultPlan;
+        use std::sync::Arc;
+        let plan = Arc::new(FaultPlan::parse("session.analyze@1").unwrap());
+        let mut s = AnalysisSession::new(
+            AnalysisConfig::builder()
+                .threads(1)
+                .fault_plan(plan)
+                .build()
+                .unwrap(),
+        );
+        let input = format!(
+            "{}\n{}\n",
+            analyze_line(1, "t.c", SRC),
+            analyze_line(2, "t.c", SRC)
+        );
+        let mut out = Vec::new();
+        let totals = serve_loop(&mut s, input.as_bytes(), &mut out).unwrap();
+        assert_eq!(totals.errors, 1);
+        assert_eq!(totals.analyzed, 1);
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        let first = JsonValue::parse(lines[0]).unwrap();
+        assert_eq!(first.get("ok").unwrap().as_bool(), Some(false));
+        assert!(first
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("fault injected: session.analyze"));
+        // The daemon answers the next request normally (cold restart).
+        let second = JsonValue::parse(lines[1]).unwrap();
+        assert_eq!(second.get("ok").unwrap().as_bool(), Some(true));
     }
 
     #[test]

@@ -26,12 +26,13 @@
 use crate::collector;
 use crate::config::AnalysisConfig;
 use crate::driver::{Pata, RootRun};
+use crate::faultinject;
 use crate::filter;
 use crate::persist::{
     config_fingerprint, fnv64, root_closure_fp, FunctionDb, Store, StoredBug, StoredRoot,
 };
 use crate::registry::CheckerRegistry;
-use crate::report::{PossibleBug, Report};
+use crate::report::{DegradedRoot, PossibleBug, Report};
 use crate::stats::{AnalysisStats, BudgetNote};
 use crate::telemetry::{Span, Telemetry, TelemetrySnapshot};
 use crate::typestate::Checker;
@@ -100,6 +101,11 @@ pub enum SessionError {
     EmptyRequest,
     /// The sources did not compile; one rendered diagnostic per entry.
     Compile(Vec<String>),
+    /// The pipeline panicked outside every per-root containment boundary.
+    /// The session survives: its warm state is reset, so the next request
+    /// cold-starts (re-loading the store if one is open happens lazily via
+    /// re-exploration, never through the poisoned in-memory image).
+    Internal(String),
 }
 
 impl fmt::Display for SessionError {
@@ -108,6 +114,9 @@ impl fmt::Display for SessionError {
             SessionError::EmptyRequest => f.write_str("request contains no source files"),
             SessionError::Compile(diags) => {
                 write!(f, "compilation failed:\n{}", diags.join("\n"))
+            }
+            SessionError::Internal(reason) => {
+                write!(f, "internal analysis failure: {reason}")
             }
         }
     }
@@ -317,7 +326,32 @@ impl AnalysisSession {
             .iter()
             .map(|f| (f.name.clone(), fnv64(f.text.as_bytes())))
             .collect();
-        Ok(self.analyze_compiled(module, start, file_hashes))
+        // The last containment boundary: per-root faults are absorbed by
+        // the quarantine/demotion ladder below, but a panic outside those
+        // scopes (collection, fingerprinting, splicing, store writing)
+        // must not take down a long-lived session — or the serve worker
+        // wrapping it. Warm state may be half-updated at the panic point,
+        // so it is discarded wholesale.
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.analyze_compiled(module, start, file_hashes)
+        })) {
+            Ok(outcome) => Ok(outcome),
+            Err(payload) => {
+                self.reset_warm();
+                Err(SessionError::Internal(crate::driver::panic_reason(
+                    &*payload,
+                )))
+            }
+        }
+    }
+
+    /// Discards the in-memory warm state so the next request cold-starts.
+    /// Used after a contained internal panic, when the warm image can no
+    /// longer be trusted to mirror either the sources or the store.
+    pub(crate) fn reset_warm(&mut self) {
+        self.warm = None;
+        self.store_synced = false;
+        self.synced_validation_len = 0;
     }
 
     /// The incremental pipeline on a compiled module. `file_hashes` are
@@ -333,6 +367,7 @@ impl AnalysisSession {
         let tel_on = telemetry.is_enabled();
         let checkers = self.driver.instantiate_checkers();
         let config = self.driver.config().clone();
+        faultinject::maybe_panic(config.fault_plan.as_deref(), "session.analyze", "");
 
         // P1: information collection.
         let span = Span::start(tel_on, "stage.collect");
@@ -462,6 +497,7 @@ impl AnalysisSession {
         let mut runs_iter = runs.into_iter();
         let mut candidates: Vec<PossibleBug> = Vec::new();
         let mut notes: Vec<BudgetNote> = Vec::new();
+        let mut degraded: Vec<DegradedRoot> = Vec::new();
         let mut new_roots: Vec<StoredRoot> = Vec::with_capacity(roots.len());
         for ((&root, closure_fp), plan) in roots.iter().zip(&closures).zip(plans) {
             match plan {
@@ -469,23 +505,39 @@ impl AnalysisSession {
                     stats += &stored.stats;
                     candidates.extend(resolved);
                     notes.extend(stored.note.clone());
+                    degraded.extend(stored.degraded.clone());
                     new_roots.push(stored.clone());
                 }
                 Plan::Dirty => {
                     let run: RootRun = runs_iter
                         .next()
                         .expect("one exploration result per dirty root");
-                    new_roots.push(StoredRoot {
-                        root: module.function(root).name().to_owned(),
-                        closure_fp: *closure_fp,
-                        candidates: run
-                            .candidates
-                            .iter()
-                            .map(|b| StoredBug::from_possible(b, &module))
-                            .collect(),
-                        stats: run.stats,
-                        note: run.note.clone(),
-                    });
+                    let run_degraded = run.failure.as_ref().map(|f| f.to_degraded());
+                    let quarantined = run
+                        .failure
+                        .as_ref()
+                        .is_some_and(|f| f.action == "quarantined");
+                    // A quarantined root produced no trustworthy result:
+                    // never persist it, so the next request re-explores it
+                    // instead of replaying an empty answer as "clean". A
+                    // demoted root's bounded result *is* deterministic —
+                    // persist it together with its degraded entry so warm
+                    // replays reproduce the report byte-identically.
+                    if !quarantined {
+                        new_roots.push(StoredRoot {
+                            root: module.function(root).name().to_owned(),
+                            closure_fp: *closure_fp,
+                            candidates: run
+                                .candidates
+                                .iter()
+                                .map(|b| StoredBug::from_possible(b, &module))
+                                .collect(),
+                            stats: run.stats,
+                            note: run.note.clone(),
+                            degraded: run_degraded.clone(),
+                        });
+                    }
+                    degraded.extend(run_degraded);
                     candidates.extend(run.candidates);
                     notes.extend(run.note);
                 }
@@ -497,14 +549,16 @@ impl AnalysisSession {
         let cache = config
             .validation_cache
             .then(|| &**self.driver.validation_cache());
-        let result = filter::filter(
+        let result = filter::filter_with_faults(
             &module,
             candidates,
             config.validate_paths,
             cache,
             Some(&telemetry),
             &mut stats,
+            config.fault_plan.as_deref(),
         );
+        degraded.extend(result.failures.iter().cloned());
         if tel_on {
             telemetry.record_direct(|sink| span.finish(sink));
         }
@@ -553,7 +607,9 @@ impl AnalysisSession {
                 },
             };
             let t0 = Instant::now();
-            let saved = store.save(path).is_ok();
+            let saved = store
+                .save_with_faults(path, config.fault_plan.as_deref())
+                .is_ok();
             let save_ns = t0.elapsed().as_nanos() as u64;
             self.store_synced = saved;
             self.synced_validation_len = self.driver.validation_cache().len();
@@ -571,7 +627,9 @@ impl AnalysisSession {
             self.store_synced = false;
         }
 
-        let report = Report::new(result.reports).with_budget_notes(notes);
+        let report = Report::new(result.reports)
+            .with_budget_notes(notes)
+            .with_degraded(degraded);
         SessionOutcome {
             report,
             stats,

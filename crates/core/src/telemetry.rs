@@ -611,6 +611,19 @@ impl TelemetrySnapshot {
                 self.counter("driver.work_steals")
             );
         }
+        // Fault containment — shown only when the recovery ladder actually
+        // intervened, so fault-free profiles are unchanged.
+        let quarantined = self.counter_sum("driver.recover.quarantined");
+        let demoted = self.counter("driver.recover.demoted");
+        let deadline_hits = self.counter("driver.recover.deadline_hits");
+        let live_bytes_hits = self.counter("driver.recover.live_bytes_hits");
+        if quarantined + demoted + deadline_hits + live_bytes_hits > 0 {
+            let _ = writeln!(
+                out,
+                "recover: {quarantined} quarantined, {demoted} demoted, \
+                 {deadline_hits} deadline trips, {live_bytes_hits} live-bytes trips"
+            );
+        }
         out
     }
 }
@@ -778,6 +791,29 @@ mod tests {
         assert!(text.contains("80.0%"), "{text}");
         assert!(text.contains("slow_fn"), "{text}");
         assert!(text.contains("75.0% hit rate"), "{text}");
+    }
+
+    #[test]
+    fn profile_recovery_line_gated_on_recover_counters() {
+        let tel = Telemetry::new(true);
+        let mut sink = TelemetrySink::new();
+        sink.record_ns("stage.explore", None, 1_000);
+        tel.merge(sink);
+        let quiet = tel.snapshot().render_profile(5);
+        assert!(!quiet.contains("recover:"), "{quiet}");
+
+        let mut sink = TelemetrySink::new();
+        sink.add_labeled("driver.recover.quarantined", Some("explore".into()), 2);
+        sink.add("driver.recover.demoted", 1);
+        sink.add("driver.recover.deadline_hits", 3);
+        tel.merge(sink);
+        let noisy = tel.snapshot().render_profile(5);
+        assert!(
+            noisy.contains(
+                "recover: 2 quarantined, 1 demoted, 3 deadline trips, 0 live-bytes trips"
+            ),
+            "{noisy}"
+        );
     }
 
     #[test]

@@ -96,4 +96,99 @@ cargo run -q --release --bin pata -- client --socket "$sock" --op shutdown \
 wait "$serve_pid" || { echo "serve: daemon exited non-zero"; exit 1; }
 echo "serve round-trip OK (second request re-explored 1 root)"
 
+echo "== fault-injection smoke matrix"
+# Inject a panic, a validation panic, a deadline trip, and a store IO
+# error at named sites. Every run must exit zero and report the fault in
+# the degraded section; degraded reports must be byte-identical across
+# thread counts for a fixed plan.
+printf 'int ci_fault_probe(int *p) { if (p == NULL) { } return *p; }\n' \
+    > "$tmp_dir/ci_fault.c"
+fault_case() {
+    plan=$1
+    action=$2
+    # stderr silenced: contained panics still run the default panic hook,
+    # and the injected backtraces would drown the CI log.
+    out=$(cargo run -q --release --bin pata -- analyze "$tmp_dir/ci_fault.c" \
+        --json --fault-plan "$plan" 2>/dev/null) \
+        || { echo "fault smoke: --fault-plan $plan exited non-zero"; exit 1; }
+    echo "$out" | grep -q '"degraded"' \
+        || { echo "fault smoke: $plan produced no degraded section"; exit 1; }
+    echo "$out" | grep -q "\"action\": \"$action\"" \
+        || { echo "fault smoke: $plan must record action=$action"; exit 1; }
+}
+fault_case 'explore@1,seed=1' quarantined
+fault_case 'checker@1,seed=2' quarantined
+fault_case 'validate@1,seed=3' quarantined
+fault_case 'deadline@1,seed=4' demoted
+fault_case 'live_bytes@1,seed=5' demoted
+one=$(cargo run -q --release --bin pata -- analyze "$tmp_dir/ci_fault.c" \
+    --json --threads 1 --fault-plan 'explore@1,seed=1' 2>/dev/null)
+four=$(cargo run -q --release --bin pata -- analyze "$tmp_dir/ci_fault.c" \
+    --json --threads 4 --fault-plan 'explore@1,seed=1' 2>/dev/null)
+[ "$one" = "$four" ] \
+    || { echo "fault smoke: degraded report differs across threads"; exit 1; }
+# A store IO error degrades to a cold start: the run still succeeds, the
+# store file is simply absent; a later run without the fault saves it.
+cargo run -q --release --bin pata -- analyze "$tmp_dir/ci_fault.c" --json \
+    --store "$tmp_dir/fault-store.json" --fault-plan 'store.save@1,seed=6' \
+    >/dev/null 2>&1 \
+    || { echo "fault smoke: store.save fault must not fail"; exit 1; }
+[ ! -e "$tmp_dir/fault-store.json" ] \
+    || { echo "fault smoke: failed save must leave no store file"; exit 1; }
+cargo run -q --release --bin pata -- analyze "$tmp_dir/ci_fault.c" --json \
+    --store "$tmp_dir/fault-store.json" >/dev/null
+[ -e "$tmp_dir/fault-store.json" ] \
+    || { echo "fault smoke: clean run must save the store"; exit 1; }
+echo "fault-injection smoke matrix OK"
+
+echo "== serve stress round-trip (concurrent clients, malformed + oversized frames)"
+# Drive the daemon through the already-built binary: concurrent
+# `cargo run`s would serialize on cargo's build lock and the clients
+# would never actually overlap.
+pata_bin="$PWD/target/release/pata"
+sock2="$tmp_dir/pata-stress.sock"
+"$pata_bin" serve --socket "$sock2" --max-request-bytes 65536 &
+stress_pid=$!
+for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+    [ -S "$sock2" ] && break
+    sleep 0.25
+done
+[ -S "$sock2" ] || { echo "stress: socket never appeared"; exit 1; }
+stress_client() {
+    "$pata_bin" client --socket "$sock2" "$@"
+}
+pids=""
+for i in 1 2 3 4; do
+    stress_client "$tmp_dir/ci_fault.c" > "$tmp_dir/stress_$i.out" &
+    pids="$pids $!"
+done
+for p in $pids; do
+    wait "$p" || { echo "stress: concurrent client failed"; exit 1; }
+done
+for i in 1 2 3 4; do
+    grep -q '"ok": true' "$tmp_dir/stress_$i.out" \
+        || { echo "stress: client $i got an error response"; exit 1; }
+done
+# A malformed frame must produce an error response (non-zero client
+# exit), not a dead daemon.
+if stress_client --raw 'this is not json' > "$tmp_dir/stress_bad.out" 2>&1; then
+    echo "stress: malformed frame must exit non-zero"; exit 1
+fi
+grep -q '"ok": false' "$tmp_dir/stress_bad.out" \
+    || { echo "stress: malformed frame must get an error response"; exit 1; }
+# An oversized frame is refused at the configured byte limit.
+big_frame=$(head -c 70000 /dev/zero | tr '\0' 'x')
+if stress_client --raw "$big_frame" > "$tmp_dir/stress_big.out" 2>&1; then
+    echo "stress: oversized frame must exit non-zero"; exit 1
+fi
+grep -q 'byte limit' "$tmp_dir/stress_big.out" \
+    || { echo "stress: oversized frame must name the byte limit"; exit 1; }
+# The daemon is still answering after both bad frames.
+stress_client --op ping > /dev/null \
+    || { echo "stress: daemon dead after bad frames"; exit 1; }
+stress_client --op shutdown > /dev/null \
+    || { echo "stress: shutdown failed"; exit 1; }
+wait "$stress_pid" || { echo "stress: daemon exited non-zero"; exit 1; }
+echo "serve stress round-trip OK"
+
 echo "CI OK"

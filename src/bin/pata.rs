@@ -33,11 +33,13 @@
 
 use pata::core::json::JsonValue;
 use pata::core::{
-    AliasMode, AnalysisConfig, AnalysisRequest, AnalysisSession, BugKind, SessionOutcome,
+    AliasMode, AnalysisConfig, AnalysisRequest, AnalysisSession, BugKind, FaultPlan, ServeOptions,
+    SessionOutcome,
 };
 use pata::corpus::{Corpus, OsProfile};
 use std::io::Write;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -95,6 +97,16 @@ analysis knobs (analyze and serve):
   --no-cow-state          fork branch state by deep clone instead of the
                           copy-on-write undo journal (differential oracle)
 
+fault containment (analyze and serve):
+  --root-deadline-ms N    per-root wall-clock deadline; a root that
+                          exceeds it is demoted to a bounded re-run, and
+                          quarantined if that trips again (0 = off)
+  --max-live-bytes N      per-root live path-state ceiling in bytes,
+                          checked at fork points (0 = off)
+  --fault-plan SPEC       deterministic fault injection, e.g.
+                          `explore:probe_a@1,store.save,seed=7`; see the
+                          pata-core faultinject docs for the grammar
+
 persistence:
   --store PATH            versioned on-disk store for warm restarts; loads
                           cached per-root results + validation verdicts,
@@ -109,6 +121,13 @@ serve/client:
   --op OP                 client request op: analyze (default when files
                           are given), ping, stats, or shutdown
   --id ID                 client request id echoed in the response
+  --raw LINE              client: send LINE verbatim as the request frame
+                          (for protocol testing; exit reflects `ok`)
+  --max-request-bytes N   serve: longest accepted request line; longer
+                          frames get an error response (default 8388608,
+                          0 = unlimited)
+  --request-timeout-ms N  serve (socket only): per-request reply deadline;
+                          slower requests get a timeout error (0 = off)
 
 output (analyze):
   --json                  print the versioned report document
@@ -130,6 +149,9 @@ const CONFIG_FLAGS: &[(&str, bool)] = &[
     ("no-callee-memo", false),
     ("fork-depth", true),
     ("no-cow-state", false),
+    ("root-deadline-ms", true),
+    ("max-live-bytes", true),
+    ("fault-plan", true),
 ];
 
 const ANALYZE_FLAGS: &[(&str, bool)] = &[
@@ -145,14 +167,47 @@ const SERVE_FLAGS: &[(&str, bool)] = &[
     ("socket", true),
     ("stdio", false),
     ("stats-json", true),
+    ("max-request-bytes", true),
+    ("request-timeout-ms", true),
 ];
 
-const CLIENT_FLAGS: &[(&str, bool)] = &[("socket", true), ("op", true), ("id", true)];
+const CLIENT_FLAGS: &[(&str, bool)] =
+    &[("socket", true), ("op", true), ("id", true), ("raw", true)];
 
 const CORPUS_FLAGS: &[(&str, bool)] = &[("scale", true), ("seed", true), ("out", true)];
 
+/// Levenshtein edit distance — powers "did you mean" flag suggestions.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.chars().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+/// The closest known flag to a mistyped one, if it is close enough to be
+/// a plausible typo (distance at most a third of the flag's length, and
+/// never more than 3).
+fn nearest_flag(name: &str, allowed: &[&[(&str, bool)]]) -> Option<String> {
+    allowed
+        .iter()
+        .flat_map(|set| set.iter())
+        .map(|&(n, _)| (edit_distance(name, n), n))
+        .min()
+        .filter(|&(d, n)| d <= 3.min(n.len().max(name.len()) / 3 + 1))
+        .map(|(_, n)| n.to_owned())
+}
+
 /// Splits `args` into positional arguments and flags, rejecting any flag
-/// not in the allowlists. An unknown flag is a hard error (non-zero exit).
+/// not in the allowlists. An unknown flag is a hard error (non-zero exit)
+/// naming the offending flag, with a nearest-match suggestion when one is
+/// plausible.
 fn split_args(
     args: &[String],
     allowed: &[&[(&str, bool)]],
@@ -167,7 +222,10 @@ fn split_args(
                 .flat_map(|set| set.iter())
                 .find(|(n, _)| *n == name)
             else {
-                return Err(format!("unknown flag `--{name}`\n{USAGE}"));
+                let hint = nearest_flag(name, allowed)
+                    .map(|n| format!(" (did you mean `--{n}`?)"))
+                    .unwrap_or_default();
+                return Err(format!("unknown flag `--{name}`{hint}\n{USAGE}"));
             };
             let value = if takes_value {
                 Some(
@@ -253,6 +311,22 @@ fn build_config(
     }
     if flag(flags, "no-cow-state").is_some() {
         builder = builder.cow_state(false);
+    }
+    if let Some(Some(n)) = flag(flags, "root-deadline-ms") {
+        builder = builder.root_deadline_ms(
+            n.parse()
+                .map_err(|_| format!("bad --root-deadline-ms value `{n}`"))?,
+        );
+    }
+    if let Some(Some(n)) = flag(flags, "max-live-bytes") {
+        builder = builder.max_live_bytes(
+            n.parse()
+                .map_err(|_| format!("bad --max-live-bytes value `{n}`"))?,
+        );
+    }
+    if let Some(Some(spec)) = flag(flags, "fault-plan") {
+        let plan = FaultPlan::parse(spec).map_err(|e| format!("bad --fault-plan: {e}"))?;
+        builder = builder.fault_plan(Arc::new(plan));
     }
     builder
         .build()
@@ -377,21 +451,34 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if socket.is_some() == stdio {
         return Err("serve needs exactly one of --socket PATH or --stdio".to_owned());
     }
+    let mut options = ServeOptions::default();
+    if let Some(Some(n)) = flag(&flags, "max-request-bytes") {
+        options.max_request_bytes = n
+            .parse()
+            .map_err(|_| format!("bad --max-request-bytes value `{n}`"))?;
+    }
+    if let Some(Some(n)) = flag(&flags, "request-timeout-ms") {
+        options.request_timeout_ms = n
+            .parse()
+            .map_err(|_| format!("bad --request-timeout-ms value `{n}`"))?;
+    }
     let mut session = open_session(&flags, stats_json.is_some())?;
 
     let (snapshot, totals) = if stdio {
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
-        let totals = pata::core::serve_loop(&mut session, stdin.lock(), stdout.lock())
-            .map_err(|e| format!("serve: {e}"))?;
+        let totals =
+            pata::core::serve_loop_with(&mut session, stdin.lock(), stdout.lock(), options)
+                .map_err(|e| format!("serve: {e}"))?;
         (session.telemetry().snapshot(), totals)
     } else {
         #[cfg(unix)]
         {
             let socket = socket.expect("checked above");
             eprintln!("pata serve: listening on {socket}");
-            let (session, totals) = pata::core::serve_unix(session, std::path::Path::new(&socket))
-                .map_err(|e| format!("serve: {e}"))?;
+            let (session, totals) =
+                pata::core::serve_unix_with(session, std::path::Path::new(&socket), options)
+                    .map_err(|e| format!("serve: {e}"))?;
             (session.telemetry().snapshot(), totals)
         }
         #[cfg(not(unix))]
@@ -428,29 +515,36 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
     } else {
         pata::core::json::quote(&id)
     };
-    let line = match op.as_str() {
-        "analyze" => {
-            let request = read_request(&files)?;
-            let mut parts = Vec::new();
-            for f in request.files {
-                parts.push(format!(
-                    "{{\"name\": {}, \"text\": {}}}",
-                    pata::core::json::quote(&f.name),
-                    pata::core::json::quote(&f.text)
-                ));
-            }
-            format!(
-                "{{\"id\": {id_json}, \"op\": \"analyze\", \"files\": [{}]}}",
-                parts.join(", ")
-            )
+    let line = if let Some(Some(raw)) = flag(&flags, "raw") {
+        if !files.is_empty() || flag(&flags, "op").is_some() {
+            return Err("--raw replaces the request; drop --op and input files".to_owned());
         }
-        "ping" | "stats" | "shutdown" => {
-            if !files.is_empty() {
-                return Err(format!("--op {op} takes no input files"));
+        raw.clone()
+    } else {
+        match op.as_str() {
+            "analyze" => {
+                let request = read_request(&files)?;
+                let mut parts = Vec::new();
+                for f in request.files {
+                    parts.push(format!(
+                        "{{\"name\": {}, \"text\": {}}}",
+                        pata::core::json::quote(&f.name),
+                        pata::core::json::quote(&f.text)
+                    ));
+                }
+                format!(
+                    "{{\"id\": {id_json}, \"op\": \"analyze\", \"files\": [{}]}}",
+                    parts.join(", ")
+                )
             }
-            format!("{{\"id\": {id_json}, \"op\": \"{op}\"}}")
+            "ping" | "stats" | "shutdown" => {
+                if !files.is_empty() {
+                    return Err(format!("--op {op} takes no input files"));
+                }
+                format!("{{\"id\": {id_json}, \"op\": \"{op}\"}}")
+            }
+            other => return Err(format!("unknown --op `{other}`")),
         }
-        other => return Err(format!("unknown --op `{other}`")),
     };
     #[cfg(unix)]
     {

@@ -236,8 +236,85 @@ fn help_enumerates_every_knob() {
         "--scale",
         "--seed",
         "--out",
+        "--root-deadline-ms",
+        "--max-live-bytes",
+        "--fault-plan",
+        "--raw",
+        "--max-request-bytes",
+        "--request-timeout-ms",
     ] {
         assert!(stdout.contains(knob), "help missing {knob}");
+    }
+}
+
+#[test]
+fn misspelled_flag_suggests_nearest_match() {
+    let dir = std::env::temp_dir().join("pata_cli_typo");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = write_demo(&dir);
+    for (typo, suggestion) in [
+        ("--fork-dpeth", "--fork-depth"),
+        ("--theads", "--threads"),
+        ("--fault-pan", "--fault-plan"),
+    ] {
+        let out = pata()
+            .args(["analyze", file.to_str().unwrap(), typo])
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "{typo} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(&format!("unknown flag `{typo}`")),
+            "{stderr}"
+        );
+        assert!(
+            stderr.contains(&format!("did you mean `{suggestion}`?")),
+            "{typo}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn bad_flag_value_names_the_flag() {
+    let dir = std::env::temp_dir().join("pata_cli_badvalue");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = write_demo(&dir);
+    for (flag, value, expect) in [
+        (
+            "--root-deadline-ms",
+            "abc",
+            "bad --root-deadline-ms value `abc`",
+        ),
+        ("--max-live-bytes", "-1", "bad --max-live-bytes value `-1`"),
+        ("--threads", "lots", "bad --threads value `lots`"),
+        ("--fault-plan", "nosuchsite@1", "bad --fault-plan"),
+    ] {
+        let out = pata()
+            .args(["analyze", file.to_str().unwrap(), flag, value])
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "{flag} {value} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(expect), "{flag} {value}: {stderr}");
+    }
+}
+
+#[test]
+fn missing_flag_argument_is_an_error() {
+    let dir = std::env::temp_dir().join("pata_cli_missing");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = write_demo(&dir);
+    for flag in ["--fault-plan", "--root-deadline-ms", "--store"] {
+        let out = pata()
+            .args(["analyze", file.to_str().unwrap(), flag])
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "trailing {flag} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(&format!("{flag} expects a value")),
+            "{flag}: {stderr}"
+        );
     }
 }
 
